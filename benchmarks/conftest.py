@@ -1,0 +1,36 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§8) and prints it.  The workload is scaled for a laptop-
+class single-core machine; set ``REPRO_FULL=1`` to run the paper's full
+dataset sizes, or ``REPRO_SCALE_ROWS=<n>`` to pick a custom cap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: regenerates a table/figure from the paper"
+    )
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+def banner(title: str, body: str) -> None:
+    line = "=" * max(len(title), 8)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

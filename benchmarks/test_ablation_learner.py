@@ -1,0 +1,38 @@
+"""Design-choice ablation — constraint-based (PC) vs score-based (HC)
+structure learning behind the same synthesis pipeline.
+
+Not a paper table: DESIGN.md calls for ablation benches on the
+pipeline's design choices, and the learner backend is the biggest one.
+Expected shape: both backends produce usable programs; PC (the paper's
+choice) is markedly faster on wide datasets, while hill climbing is a
+competitive but slower alternative.
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import format_learner_table, run_learner_table
+
+# Narrow/medium datasets; hill climbing is quadratic in attribute count.
+ABLATION_DATASETS = [1, 2, 4, 5, 6, 8, 9, 12]
+
+
+@pytest.mark.paper
+def test_learner_ablation(benchmark, context):
+    rows = run_once(
+        benchmark,
+        run_learner_table,
+        context,
+        dataset_ids=ABLATION_DATASETS,
+    )
+    banner(
+        "Ablation: PC vs BIC hill climbing", format_learner_table(rows)
+    )
+    assert len(rows) == len(ABLATION_DATASETS)
+    # Both backends find real structure somewhere.
+    assert any(r.edge_f1_pc > 0.3 for r in rows)
+    assert any(r.edge_f1_hc > 0.3 for r in rows)
+    # PC is the cheaper backend overall (the paper's design choice).
+    assert sum(r.seconds_pc for r in rows) < sum(
+        r.seconds_hc for r in rows
+    )

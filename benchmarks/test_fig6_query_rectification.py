@@ -1,0 +1,41 @@
+"""Figure 6 — rectification effect on 48 ML-integrated queries (§8.2).
+
+Paper's claim: GUARDRAIL's rectify strategy improves the accuracy of
+all 48 queries, with an average relative-error reduction of 0.87 ± 0.25.
+This reproduction reports the same two series (dirty vs. rectified
+relative error, min–max normalized) and the mean reduction.
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import (
+    average_reduction,
+    format_figure6,
+    normalized_series,
+    run_figure6,
+)
+
+
+@pytest.mark.paper
+def test_fig6_query_rectification(benchmark, context):
+    rows = run_once(benchmark, run_figure6, context)
+    mean, std = average_reduction(rows)
+    dirty, rectified = normalized_series(rows)
+    body = format_figure6(rows) + (
+        f"\nnormalized series ranges: dirty [{min(dirty):.3f}, "
+        f"{max(dirty):.3f}], rectified [{min(rectified):.3f}, "
+        f"{max(rectified):.3f}]"
+        f"\naverage reduction = {mean:.2f} +- {std:.2f} "
+        "(paper: 0.87 +- 0.25)"
+    )
+    banner("Figure 6: query error rectification", body)
+
+    assert len(rows) == 48  # 4 queries x 12 datasets
+    # Shape: rectification helps on net, and most queries do not get
+    # worse.
+    assert mean > 0.15
+    hurt = [
+        r for r in rows if r.reduction is not None and r.reduction < 0
+    ]
+    assert len(hurt) <= len(rows) // 4

@@ -1,0 +1,38 @@
+"""Figure 7 — impact of the ε threshold on coverage and loss (§8.3).
+
+Paper's claim: raising ε increases constraint coverage at the cost of
+higher loss, with ε = 0.01–0.05 the recommended trade-off region.
+The sweep runs on a representative subset of datasets (one per size
+class) to keep single-core wall time reasonable; pass all ids via
+run_figure7 for the full grid.
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import DEFAULT_EPSILONS, format_figure7, run_figure7
+
+SWEEP_DATASETS = [1, 2, 4, 6, 9, 12]
+
+
+@pytest.mark.paper
+def test_fig7_epsilon_sweep(benchmark, context):
+    points = run_once(
+        benchmark,
+        run_figure7,
+        context,
+        dataset_ids=SWEEP_DATASETS,
+        epsilons=DEFAULT_EPSILONS,
+    )
+    banner("Figure 7: epsilon sweep (coverage & loss)", format_figure7(points))
+
+    assert len(points) == len(SWEEP_DATASETS) * len(DEFAULT_EPSILONS)
+    # Shape per dataset: coverage is non-decreasing in ε (within a
+    # small numerical slack), and loss never decreases materially.
+    for dataset_id in SWEEP_DATASETS:
+        series = [p for p in points if p.dataset_id == dataset_id]
+        series.sort(key=lambda p: p.epsilon)
+        coverages = [p.coverage for p in series]
+        losses = [p.loss_rate for p in series]
+        assert coverages[-1] >= coverages[0] - 0.05
+        assert losses[-1] >= losses[0] - 1e-9

@@ -1,0 +1,30 @@
+"""Table 1 — injected errors vs. ML mis-predictions (paper §5).
+
+Paper's claim: error counts and error-induced mis-prediction counts are
+strongly rank-correlated (ρ = 0.947, p < 0.05), motivating constraint-
+based guarding of ML-integrated queries.
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import (
+    error_mispred_correlation,
+    format_table1,
+    run_table1,
+)
+
+
+@pytest.mark.paper
+def test_table1_errors_vs_mispredictions(benchmark, context):
+    rows = run_once(benchmark, run_table1, context)
+    correlation = error_mispred_correlation(rows)
+    body = format_table1(rows) + (
+        f"\nSpearman rho = {correlation.coefficient:.3f} "
+        f"(p = {correlation.p_value:.3g}); paper: rho = 0.947"
+    )
+    banner("Table 1: errors vs. mis-predictions", body)
+    assert len(rows) == 12
+    assert all(r.n_errors > 0 for r in rows)
+    # Mis-predictions occur somewhere (the §5 phenomenon exists).
+    assert any(r.n_mispredictions > 0 for r in rows)

@@ -1,0 +1,25 @@
+"""Table 5 — mis-prediction detection precision/recall (§8.2).
+
+Paper's claim: a sizable share of GUARDRAIL-detected errors are the
+root cause of mis-predictions (P averages 0.24), while errors GUARDRAIL
+misses essentially never flip a prediction (R ≈ 0).
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import format_table5, run_table5
+
+
+@pytest.mark.paper
+def test_table5_mispred_detection(benchmark, context):
+    rows = run_once(benchmark, run_table5, context)
+    banner("Table 5: mis-prediction detection", format_table5(rows))
+    assert len(rows) == 12
+    # Shape: missed errors rarely flip predictions — the average missed
+    # rate stays small.
+    missed_rates = [
+        r.missed_rate for r in rows if r.missed_rate is not None
+    ]
+    assert missed_rates, "need at least one dataset with missed errors"
+    assert sum(missed_rates) / len(missed_rates) < 0.3

@@ -1,0 +1,27 @@
+"""Table 6 — query-time guard overhead vs. model inference time (§8.2).
+
+Paper's claim: the guard's runtime is modest — comparable to (often
+below) the ML model's own inference time, so guarding ML-integrated
+queries is practical.
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import format_table6, run_table6
+
+
+@pytest.mark.paper
+def test_table6_runtime_overhead(benchmark, context):
+    rows = run_once(benchmark, run_table6, context)
+    total_guard = sum(r.guardrail_seconds for r in rows)
+    total_infer = sum(r.inference_seconds for r in rows)
+    body = format_table6(rows) + (
+        f"\ntotals: guard {total_guard:.3f}s vs inference "
+        f"{total_infer:.3f}s across 12 datasets"
+    )
+    banner("Table 6: runtime overhead", body)
+    assert len(rows) == 12
+    assert all(r.inference_seconds > 0 for r in rows)
+    # Shape: guard overhead is the same order as inference, not 100x.
+    assert total_guard < total_infer * 20

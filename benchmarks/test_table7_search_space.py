@@ -1,0 +1,26 @@
+"""Table 7 — search space, with vs. without MEC reasoning (§8.3).
+
+Paper's claim: learning up to the Markov equivalence class reduces the
+structure search space from the astronomically many DAGs on n nodes
+(e.g. 2.2 × 10^13 for 40 attributes — ours counts the exact value) to a
+handful of class members, enumerable in seconds.
+"""
+
+import pytest
+
+from conftest import banner, run_once
+from repro.experiments import format_table7, run_table7
+from repro.pgm import count_dags
+
+
+@pytest.mark.paper
+def test_table7_search_space(benchmark, context):
+    rows = run_once(benchmark, run_table7, context)
+    banner("Table 7: search space and enumeration time", format_table7(rows))
+    assert len(rows) == 12
+    for row in rows:
+        # The MEC is always astronomically smaller than the raw space.
+        assert row.n_dags_with_mec <= context.max_dags
+        assert count_dags(row.n_attributes) > row.n_dags_with_mec
+    # Enumeration stays fast even on the widest dataset.
+    assert max(r.enumeration_seconds for r in rows) < 60

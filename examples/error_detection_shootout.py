@@ -1,0 +1,42 @@
+"""Error-detection shootout: GUARDRAIL vs TANE, CTANE, and FDX (§8.1).
+
+Runs the Table-3 protocol on one dataset twin: discover constraints on
+a noisy discovery split, flag rows of an error-injected test split, and
+score everyone with F1/MCC against the injected ground truth.
+
+Run:  python examples/error_detection_shootout.py [dataset-id]
+"""
+
+import sys
+
+from repro.experiments import (
+    ExperimentContext,
+    format_table3,
+    run_detection,
+)
+
+
+def main() -> None:
+    dataset_id = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    context = ExperimentContext()
+    print(
+        f"running the Table-3 protocol on dataset #{dataset_id} "
+        f"(scale: {context.scale_rows or 'full'} rows, "
+        f"epsilon={context.epsilon}, error rate={context.error_rate})"
+    )
+    row = run_detection(dataset_id, context)
+    print(f"\ndataset: {row.dataset_name}")
+    print(format_table3([row]))
+    print(
+        "\nflagged rows — guardrail: "
+        f"{row.guardrail.flagged}, tane: {row.tane.flagged}, "
+        f"ctane: {row.ctane.flagged}, fdx: {row.fdx.flagged}"
+    )
+    print(
+        "\n('-' entries mean the method failed on this dataset, e.g. "
+        "FDX's ill-conditioned regression — see paper §8.1.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

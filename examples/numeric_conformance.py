@@ -1,0 +1,95 @@
+"""Guarding mixed categorical + numeric data (paper §6).
+
+GUARDRAIL's DSL covers categorical attributes; Conformance Constraints
+cover numeric ones.  The paper notes the two "can be used in
+conjunction" — this example does exactly that: a categorical guardrail
+plus a numeric conformance guard over one table, each catching the
+errors the other cannot see.
+
+Run:  python examples/numeric_conformance.py
+"""
+
+import numpy as np
+
+from repro.baselines import ConformanceGuard
+from repro.dsl import format_program
+from repro.relation import Attribute, AttributeType, Relation, Schema
+from repro.synth import Guardrail, GuardrailConfig
+
+
+def build_orders(n_rows: int = 3000) -> Relation:
+    """Synthetic order table: category decides tier; price ≈ 9.5 × weight."""
+    rng = np.random.default_rng(21)
+    categories = ["book", "laptop", "sofa"]
+    tier_of = {"book": "light", "laptop": "medium", "sofa": "bulky"}
+    weight_of = {"book": 0.4, "laptop": 2.2, "sofa": 38.0}
+    rows = []
+    for _ in range(n_rows):
+        category = categories[rng.integers(3)]
+        weight = weight_of[category] * float(rng.uniform(0.8, 1.2))
+        price = 9.5 * weight + float(rng.normal(0, 0.8))
+        rows.append(
+            {
+                "category": category,
+                "shipping_tier": tier_of[category],
+                "weight_kg": round(weight, 2),
+                "price_usd": round(price, 2),
+            }
+        )
+    schema = Schema(
+        [
+            Attribute("category"),
+            Attribute("shipping_tier"),
+            Attribute("weight_kg", AttributeType.NUMERIC),
+            Attribute("price_usd", AttributeType.NUMERIC),
+        ]
+    )
+    return Relation.from_rows(rows, schema=schema)
+
+
+def main() -> None:
+    orders = build_orders()
+    print(f"orders table: {orders}")
+
+    categorical_guard = Guardrail(
+        GuardrailConfig(epsilon=0.02, min_support=5)
+    ).fit(orders)
+    numeric_guard = ConformanceGuard().fit(orders)
+
+    print("\ncategorical constraints (GUARDRAIL DSL):")
+    print(format_program(categorical_guard.program))
+    print("\nnumeric constraints (conformance):")
+    print(numeric_guard.describe())
+
+    # Error 1: a categorical inconsistency (a sofa shipped as 'light').
+    sofa_row = next(
+        i for i in range(orders.n_rows)
+        if orders.value(i, "category") == "sofa"
+    )
+    bad_tier = orders.set_cell(sofa_row, "shipping_tier", "light")
+    # Error 2: a numeric inconsistency (price wildly off the weight law,
+    # though individually within the observed price range).
+    laptop_row = next(
+        i for i in range(orders.n_rows)
+        if orders.value(i, "category") == "laptop"
+    )
+    bad_price = orders.set_cell(laptop_row, "price_usd", 3.0)
+
+    for name, corrupted in [("tier", bad_tier), ("price", bad_price)]:
+        categorical_hits = categorical_guard.check(corrupted)
+        numeric_hits = numeric_guard.check(corrupted)
+        print(
+            f"\ncorrupted {name}: categorical guard flags rows "
+            f"{[int(i) for i in np.nonzero(categorical_hits)[0]]}, "
+            f"numeric guard flags rows "
+            f"{[int(i) for i in np.nonzero(numeric_hits)[0]]}"
+        )
+
+    print(
+        "\n=> each guard catches the error class the other cannot "
+        "express, as §6 of the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

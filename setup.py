@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment's setuptools lacks the wheel
+package, so editable installs fall back to this setup.py path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""GUARDRAIL: automated integrity constraint synthesis from noisy data.
+
+Reproduction of the SIGMOD 2025 paper.  The most common entry points
+are re-exported here; see the subpackages for the full API:
+
+>>> from repro import Guardrail, GuardrailConfig, read_csv
+>>> guard = Guardrail(GuardrailConfig(epsilon=0.02)).fit(read_csv("train.csv"))
+>>> repaired = guard.rectify(read_csv("serving.csv"))
+"""
+
+from .dsl import Program, format_program, parse_program
+from .errors import Strategy, detect_errors, inject_errors
+from .relation import Relation, read_csv, write_csv
+from .synth import Guardrail, GuardrailConfig, SynthesisResult, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Guardrail",
+    "GuardrailConfig",
+    "SynthesisResult",
+    "synthesize",
+    "Program",
+    "parse_program",
+    "format_program",
+    "Relation",
+    "read_csv",
+    "write_csv",
+    "Strategy",
+    "detect_errors",
+    "inject_errors",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""FD-discovery baselines compared against GUARDRAIL (§8.1)."""
+
+from .conformance import (
+    ConformanceGuard,
+    LinearConstraint,
+    RangeConstraint,
+)
+from .ctane import CFDErrorDetector, ConstantCFD, CTaneResult, ctane
+from .fd import (
+    FD,
+    FDErrorDetector,
+    StrippedPartition,
+    fd_holds,
+    g3_error,
+    minimal_cover,
+)
+from .fdx import FdxIllConditioned, FdxResult, fdx
+from .tane import TaneResult, tane
+
+__all__ = [
+    "ConformanceGuard",
+    "RangeConstraint",
+    "LinearConstraint",
+    "FD",
+    "FDErrorDetector",
+    "StrippedPartition",
+    "fd_holds",
+    "g3_error",
+    "minimal_cover",
+    "TaneResult",
+    "tane",
+    "ConstantCFD",
+    "CFDErrorDetector",
+    "CTaneResult",
+    "ctane",
+    "FdxIllConditioned",
+    "FdxResult",
+    "fdx",
+]

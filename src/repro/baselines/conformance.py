@@ -1,0 +1,181 @@
+"""Conformance constraints for numeric attributes (paper §6).
+
+GUARDRAIL's DSL targets categorical attributes; the paper positions
+Conformance Constraints [10] as the complementary technique for
+*numeric* columns and notes the two "can be used in conjunction".  This
+module implements that companion: it learns arithmetic envelopes from
+clean data and flags rows that fall outside them.
+
+Two constraint families are learned:
+
+* **Range constraints** — robust per-column bounds
+  ``[q1 - k·IQR, q3 + k·IQR]`` (Tukey fences), immune to a few
+  training-side outliers.
+* **Linear residual constraints** — for strongly correlated column
+  pairs, the least-squares fit ``y ≈ a·x + b`` plus a robust bound on
+  the residual, catching jointly-impossible values that are
+  individually in range (the essence of conformance constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..relation import Relation
+
+
+@dataclass(frozen=True)
+class RangeConstraint:
+    """``low <= column <= high`` (NaN never violates)."""
+
+    column: str
+    low: float
+    high: float
+
+    def violations(self, values: np.ndarray) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            out = (values < self.low) | (values > self.high)
+        return out & ~np.isnan(values)
+
+    def __str__(self) -> str:
+        return f"{self.low:.4g} <= {self.column} <= {self.high:.4g}"
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``|y - (slope·x + intercept)| <= bound`` for a correlated pair."""
+
+    x: str
+    y: str
+    slope: float
+    intercept: float
+    bound: float
+    correlation: float
+
+    def residuals(
+        self, x_values: np.ndarray, y_values: np.ndarray
+    ) -> np.ndarray:
+        return y_values - (self.slope * x_values + self.intercept)
+
+    def violations(
+        self, x_values: np.ndarray, y_values: np.ndarray
+    ) -> np.ndarray:
+        residual = self.residuals(x_values, y_values)
+        with np.errstate(invalid="ignore"):
+            out = np.abs(residual) > self.bound
+        return out & ~np.isnan(residual)
+
+    def __str__(self) -> str:
+        return (
+            f"|{self.y} - ({self.slope:.4g}*{self.x} + "
+            f"{self.intercept:.4g})| <= {self.bound:.4g}"
+        )
+
+
+@dataclass
+class ConformanceGuard:
+    """Learn and enforce numeric conformance constraints.
+
+    Parameters
+    ----------
+    iqr_multiplier:
+        Width of the Tukey fences (default 3.0 — "far out").
+    min_correlation:
+        Only column pairs with |Pearson r| above this learn a linear
+        constraint.
+    residual_multiplier:
+        The residual bound is this multiple of the residual IQR (plus a
+        small absolute floor for near-exact fits).
+    """
+
+    iqr_multiplier: float = 3.0
+    min_correlation: float = 0.9
+    residual_multiplier: float = 4.0
+    ranges: list[RangeConstraint] = field(default_factory=list)
+    linears: list[LinearConstraint] = field(default_factory=list)
+
+    def fit(self, relation: Relation) -> "ConformanceGuard":
+        names = list(relation.schema.numeric_names())
+        self.ranges = []
+        self.linears = []
+        columns: dict[str, np.ndarray] = {}
+        for name in names:
+            values = relation.numeric(name)
+            clean = values[~np.isnan(values)]
+            if clean.size < 8:
+                continue
+            columns[name] = values
+            q1, q3 = np.percentile(clean, [25, 75])
+            iqr = max(q3 - q1, 1e-12)
+            self.ranges.append(
+                RangeConstraint(
+                    name,
+                    float(q1 - self.iqr_multiplier * iqr),
+                    float(q3 + self.iqr_multiplier * iqr),
+                )
+            )
+        for x, y in combinations(sorted(columns), 2):
+            constraint = self._fit_pair(columns[x], columns[y], x, y)
+            if constraint is not None:
+                self.linears.append(constraint)
+        return self
+
+    def _fit_pair(
+        self,
+        x_values: np.ndarray,
+        y_values: np.ndarray,
+        x: str,
+        y: str,
+    ) -> LinearConstraint | None:
+        keep = ~np.isnan(x_values) & ~np.isnan(y_values)
+        xs, ys = x_values[keep], y_values[keep]
+        if xs.size < 8 or np.std(xs) < 1e-12 or np.std(ys) < 1e-12:
+            return None
+        correlation = float(np.corrcoef(xs, ys)[0, 1])
+        if abs(correlation) < self.min_correlation:
+            return None
+        slope, intercept = np.polyfit(xs, ys, deg=1)
+        residual = ys - (slope * xs + intercept)
+        q1, q3 = np.percentile(residual, [25, 75])
+        scale = max(q3 - q1, 1e-9 * max(np.std(ys), 1.0))
+        bound = float(self.residual_multiplier * scale)
+        return LinearConstraint(
+            x, y, float(slope), float(intercept), bound, correlation
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.ranges) + len(self.linears)
+
+    def check(self, relation: Relation) -> np.ndarray:
+        """Mask of rows violating any learned numeric constraint."""
+        mask = np.zeros(relation.n_rows, dtype=bool)
+        for constraint in self.ranges:
+            if constraint.column in relation.schema:
+                mask |= constraint.violations(
+                    relation.numeric(constraint.column)
+                )
+        for constraint in self.linears:
+            if (
+                constraint.x in relation.schema
+                and constraint.y in relation.schema
+            ):
+                mask |= constraint.violations(
+                    relation.numeric(constraint.x),
+                    relation.numeric(constraint.y),
+                )
+        return mask
+
+    def describe(self) -> str:
+        lines = [
+            f"ConformanceGuard: {len(self.ranges)} range + "
+            f"{len(self.linears)} linear constraints"
+        ]
+        lines.extend(f"  {c}" for c in self.ranges)
+        lines.extend(f"  {c}" for c in self.linears)
+        return "\n".join(lines)

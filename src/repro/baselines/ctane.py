@@ -1,0 +1,157 @@
+"""CTANE: constant conditional functional dependency discovery [9].
+
+Conditional FDs extend FDs with a *pattern tableau*: the dependency only
+has to hold on the rows matching the pattern.  Following Fan et al., we
+discover **constant CFDs** ``(X = x̄) → (A = a)`` levelwise:
+
+* candidate patterns are the value combinations of attribute sets X with
+  support above a threshold;
+* a pattern emits a CFD when the conditioned rows are (nearly) constant
+  in A — confidence above ``min_confidence``;
+* non-minimal patterns (a sub-pattern already implies the same
+  consequent) are pruned.
+
+Constant CFDs are structurally the closest existing formalism to a
+GUARDRAIL branch; the difference the paper leans on is that CTANE has no
+global structural prior, so with a permissive support threshold it
+floods the result with accidental patterns (over-restrictive
+constraints), and with a strict one it misses real structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..relation import MISSING, Relation
+
+
+@dataclass(frozen=True)
+class ConstantCFD:
+    """``(lhs = values) → (rhs = value)`` with observed support/confidence."""
+
+    lhs: tuple[str, ...]
+    values: tuple[object, ...]
+    rhs: str
+    value: object
+    support: int
+    confidence: float
+
+    def pattern(self) -> tuple[tuple[str, object], ...]:
+        return tuple(zip(self.lhs, self.values))
+
+    def __str__(self) -> str:
+        pattern = ", ".join(
+            f"{a}={v!r}" for a, v in zip(self.lhs, self.values)
+        )
+        return f"[{pattern}] -> {self.rhs}={self.value!r}"
+
+
+@dataclass
+class CTaneResult:
+    cfds: list[ConstantCFD] = field(default_factory=list)
+    patterns_checked: int = 0
+
+
+def ctane(
+    relation: Relation,
+    max_lhs: int = 2,
+    min_support: int = 5,
+    min_confidence: float = 0.95,
+    max_cfds: int | None = 20000,
+) -> CTaneResult:
+    """Discover constant CFDs levelwise."""
+    attributes = list(relation.schema.categorical_names())
+    result = CTaneResult()
+    # Minimality index: consequents already implied by smaller patterns.
+    implied: set[tuple[frozenset[tuple[str, object]], str]] = set()
+
+    for size in range(1, max_lhs + 1):
+        for lhs in combinations(attributes, size):
+            groups = relation.group_indices(list(lhs))
+            for rhs in attributes:
+                if rhs in lhs:
+                    continue
+                rhs_codes = relation.codes(rhs)
+                rhs_codec = relation.codec(rhs)
+                for config, indices in groups.items():
+                    if MISSING in config:
+                        continue
+                    if indices.size < min_support:
+                        continue
+                    result.patterns_checked += 1
+                    values = rhs_codes[indices]
+                    values = values[values != MISSING]
+                    if values.size == 0:
+                        continue
+                    counts = np.bincount(values)
+                    top = int(np.argmax(counts))
+                    confidence = counts[top] / indices.size
+                    if confidence < min_confidence:
+                        continue
+                    decoded = tuple(
+                        relation.codec(a).decode_one(c)
+                        for a, c in zip(lhs, config)
+                    )
+                    if _has_implying_subpattern(
+                        lhs, decoded, rhs, implied
+                    ):
+                        continue
+                    cfd = ConstantCFD(
+                        lhs=tuple(lhs),
+                        values=decoded,
+                        rhs=rhs,
+                        value=rhs_codec.decode_one(top),
+                        support=int(indices.size),
+                        confidence=float(confidence),
+                    )
+                    result.cfds.append(cfd)
+                    implied.add(
+                        (frozenset(zip(lhs, decoded)), rhs)
+                    )
+                    if max_cfds is not None and len(result.cfds) >= max_cfds:
+                        return result
+    return result
+
+
+def _has_implying_subpattern(
+    lhs: tuple[str, ...],
+    values: tuple[object, ...],
+    rhs: str,
+    implied: set[tuple[frozenset[tuple[str, object]], str]],
+) -> bool:
+    """Does a strict sub-pattern already imply a CFD on ``rhs``?"""
+    atoms = tuple(zip(lhs, values))
+    for size in range(1, len(atoms)):
+        for subset in combinations(atoms, size):
+            if (frozenset(subset), rhs) in implied:
+                return True
+    return False
+
+
+class CFDErrorDetector:
+    """Flag test rows matching a CFD pattern but deviating in consequent."""
+
+    def __init__(self, cfds: list[ConstantCFD]):
+        self.cfds = list(cfds)
+
+    def detect(self, relation: Relation) -> np.ndarray:
+        mask = np.zeros(relation.n_rows, dtype=bool)
+        for cfd in self.cfds:
+            rows = np.ones(relation.n_rows, dtype=bool)
+            for attribute, value in zip(cfd.lhs, cfd.values):
+                codec = relation.codec(attribute)
+                code = codec.encode_one(value) if value in codec else -2
+                rows &= relation.codes(attribute) == code
+            if not rows.any():
+                continue
+            rhs_codec = relation.codec(cfd.rhs)
+            expected = (
+                rhs_codec.encode_one(cfd.value)
+                if cfd.value in rhs_codec
+                else -2
+            )
+            mask |= rows & (relation.codes(cfd.rhs) != expected)
+        return mask

@@ -1,0 +1,226 @@
+"""Functional dependencies and FD-based error detection.
+
+The baselines of §8.1 (TANE, CTANE, FDX) all emit (approximate)
+functional dependencies.  To compare them with GUARDRAIL on error
+*detection*, every baseline shares the evaluation adapter here: an FD
+``X → A`` discovered on the clean split is compiled into the lookup
+table ``{x-combination : majority A value}`` and rows of the test split
+whose ``A`` deviates from the learned value are flagged — the same
+row-level semantics GUARDRAIL's branches have, which keeps the
+comparison apples-to-apples.
+
+Stripped partitions (the TANE workhorse) also live here since both TANE
+and CTANE consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..relation import MISSING, Relation
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs → rhs``."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(sorted(self.lhs)))
+        if self.rhs in self.lhs:
+            raise ValueError("rhs cannot appear in lhs")
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(self.lhs)}}} -> {self.rhs}"
+
+
+# ---------------------------------------------------------------------------
+# Stripped partitions
+# ---------------------------------------------------------------------------
+
+
+class StrippedPartition:
+    """Equivalence classes of size >= 2 under a set of attributes.
+
+    The TANE representation: singleton classes are dropped ("stripped")
+    because they can never witness a violation.
+    """
+
+    __slots__ = ("classes", "n_rows")
+
+    def __init__(self, classes: list[np.ndarray], n_rows: int):
+        self.classes = classes
+        self.n_rows = n_rows
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, n_rows: int) -> "StrippedPartition":
+        """Partition rows by a single code column."""
+        order = np.argsort(codes, kind="stable")
+        ordered = codes[order]
+        bounds = np.concatenate(
+            [[0], np.nonzero(np.diff(ordered) != 0)[0] + 1, [n_rows]]
+        )
+        classes = [
+            order[s:e] for s, e in zip(bounds[:-1], bounds[1:]) if e - s >= 2
+        ]
+        return cls(classes, n_rows)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def size(self) -> int:
+        """``||Π||``: total rows in non-singleton classes."""
+        return sum(len(c) for c in self.classes)
+
+    def error(self) -> int:
+        """``e(X)`` numerator: rows minus classes (the key error)."""
+        return self.size - self.n_classes
+
+    def product(self, other: "StrippedPartition") -> "StrippedPartition":
+        """``Π_X · Π_Y = Π_{X ∪ Y}`` via the standard probe-table method."""
+        lookup = np.full(self.n_rows, -1, dtype=np.int64)
+        for index, cls_rows in enumerate(self.classes):
+            lookup[cls_rows] = index
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for index, cls_rows in enumerate(other.classes):
+            for row in cls_rows:
+                own = lookup[row]
+                if own >= 0:
+                    buckets.setdefault((own, index), []).append(int(row))
+        classes = [
+            np.asarray(rows, dtype=np.int64)
+            for rows in buckets.values()
+            if len(rows) >= 2
+        ]
+        return StrippedPartition(classes, self.n_rows)
+
+
+def g3_error(
+    lhs_partition: StrippedPartition, joint_partition: StrippedPartition
+) -> float:
+    """The g3 error of an FD: min fraction of rows to delete for validity.
+
+    ``g3 = (||Π_X|| - Σ_{c ∈ Π_X} max |c'|, c' ⊆ c, c' ∈ Π_{X∪A}) / n``
+    computed with the standard TANE single-pass algorithm.
+    """
+    n_rows = lhs_partition.n_rows
+    if n_rows == 0:
+        return 0.0
+    biggest = np.zeros(n_rows, dtype=np.int64)
+    touched: list[np.ndarray] = []
+    for joint_class in joint_partition.classes:
+        representative = joint_class[0]
+        biggest[representative] = max(
+            biggest[representative], len(joint_class)
+        )
+    # For each lhs class, the best sub-class size is the max over its
+    # rows' recorded joint-class sizes (non-members contribute 1).
+    removed = 0
+    for lhs_class in lhs_partition.classes:
+        best = int(biggest[lhs_class].max())
+        best = max(best, 1)
+        removed += len(lhs_class) - best
+    del touched
+    return removed / n_rows
+
+
+def fd_holds(
+    relation: Relation, fd: FD, max_error: float = 0.0
+) -> bool:
+    """Check an FD directly (used by tests as ground truth)."""
+    groups = relation.group_indices(list(fd.lhs))
+    rhs = relation.codes(fd.rhs)
+    violations = 0
+    for indices in groups.values():
+        values = rhs[indices]
+        counts = np.bincount(values[values != MISSING] + 1)
+        if counts.size:
+            violations += len(indices) - int(counts.max())
+    return violations <= max_error * relation.n_rows
+
+
+# ---------------------------------------------------------------------------
+# FD-based error detection (the shared baseline adapter)
+# ---------------------------------------------------------------------------
+
+
+class FDErrorDetector:
+    """Compile FDs on a clean split, flag deviating rows on a test split."""
+
+    def __init__(self, fds: Sequence[FD]):
+        self.fds = list(fds)
+        self._tables: list[tuple[FD, dict[tuple[int, ...], int], dict]] = []
+
+    def fit(self, relation: Relation) -> "FDErrorDetector":
+        """Learn ``lhs-combination → majority rhs`` lookup tables."""
+        self._tables = []
+        for fd in self.fds:
+            groups = relation.group_indices(list(fd.lhs))
+            rhs = relation.codes(fd.rhs)
+            table: dict[tuple, object] = {}
+            for config, indices in groups.items():
+                if MISSING in config:
+                    continue
+                values = rhs[indices]
+                values = values[values != MISSING]
+                if values.size == 0:
+                    continue
+                counts = np.bincount(values)
+                decoded_key = tuple(
+                    relation.codec(a).decode_one(c)
+                    for a, c in zip(fd.lhs, config)
+                )
+                table[decoded_key] = relation.codec(fd.rhs).decode_one(
+                    int(np.argmax(counts))
+                )
+            self._tables.append((fd, table, {}))
+        return self
+
+    def detect(self, relation: Relation) -> np.ndarray:
+        """Boolean mask over ``relation`` rows violating any learned FD."""
+        mask = np.zeros(relation.n_rows, dtype=bool)
+        for fd, table, _ in self._tables:
+            if not table:
+                continue
+            groups = relation.group_indices(list(fd.lhs))
+            rhs_codes = relation.codes(fd.rhs)
+            rhs_codec = relation.codec(fd.rhs)
+            for config, indices in groups.items():
+                if MISSING in config:
+                    continue
+                decoded_key = tuple(
+                    relation.codec(a).decode_one(c)
+                    for a, c in zip(fd.lhs, config)
+                )
+                expected = table.get(decoded_key)
+                if expected is None:
+                    continue
+                if expected in rhs_codec:
+                    expected_code = rhs_codec.encode_one(expected)
+                else:
+                    expected_code = -2
+                mask[indices[rhs_codes[indices] != expected_code]] = True
+        return mask
+
+
+def minimal_cover(fds: Sequence[FD]) -> list[FD]:
+    """Drop FDs whose lhs is a superset of another FD with the same rhs."""
+    out: list[FD] = []
+    by_rhs: dict[str, list[FD]] = {}
+    for fd in fds:
+        by_rhs.setdefault(fd.rhs, []).append(fd)
+    for rhs, group in by_rhs.items():
+        group = sorted(group, key=lambda f: len(f.lhs))
+        kept: list[FD] = []
+        for fd in group:
+            if not any(set(k.lhs) <= set(fd.lhs) for k in kept):
+                kept.append(fd)
+        out.extend(kept)
+    return out

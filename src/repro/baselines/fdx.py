@@ -1,0 +1,116 @@
+"""FDX: statistical FD discovery via a linear structural model [43].
+
+FDX (Zhang et al., SIGMOD 2020) pioneered the auxiliary-distribution
+view that GUARDRAIL builds on, but fits a **linear additive** structural
+model to the binary 𝕀 samples:
+
+    𝕀_k = Σ_{i ∈ parents(k)} B_{ki} 𝕀_i + η_k,   η additive noise
+
+estimated here exactly as the paper describes the idea: (1) sample the
+auxiliary distribution with the circular-shift trick, (2) estimate the
+autoregressive matrix by ordinary least squares per attribute,
+(3) impose a DAG by ordering attributes by residual variance (the
+LiNGAM-style heuristic: upstream variables are "explained" worse) and
+keeping only downstream-pointing coefficients above a threshold, and
+(4) read FDs off the parent sets.
+
+§6 of the GUARDRAIL paper argues the additive-noise assumption is wrong
+for binary 𝕀 (η cannot be independent of the regressors), making the
+orientation unreliable — and the least-squares step genuinely fails
+with an ill-conditioned Gram matrix on constant or collinear columns.
+We keep both failure modes observable: ``FdxIllConditioned`` is raised
+exactly when the paper reports "-" (dataset #3), and degenerate
+thresholds can flag every row (dataset #8's behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..relation import Relation
+from ..sampler import AuxiliarySampler
+from .fd import FD
+
+
+class FdxIllConditioned(RuntimeError):
+    """The Gram matrix of the regression step is numerically singular."""
+
+
+@dataclass
+class FdxResult:
+    fds: list[FD] = field(default_factory=list)
+    coefficient_matrix: np.ndarray | None = None
+    residual_variances: dict[str, float] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+
+def fdx(
+    relation: Relation,
+    threshold: float = 0.15,
+    n_shifts: int = 3,
+    condition_limit: float = 1e8,
+    seed: int = 0,
+) -> FdxResult:
+    """Run FDX-style discovery over the categorical attributes."""
+    rng = np.random.default_rng(seed)
+    sampler = AuxiliarySampler(n_shifts=n_shifts)
+    binary, names = sampler.transform(relation, rng)
+    if binary.shape[0] == 0 or len(names) < 2:
+        return FdxResult()
+    data = binary.astype(np.float64)
+    data -= data.mean(axis=0)
+
+    gram = data.T @ data
+    condition = np.linalg.cond(gram)
+    if not np.isfinite(condition) or condition > condition_limit:
+        raise FdxIllConditioned(
+            f"Gram matrix condition number {condition:.3g} exceeds "
+            f"{condition_limit:.3g} (constant or collinear indicator "
+            "columns)"
+        )
+
+    n_attrs = len(names)
+    coefficients = np.zeros((n_attrs, n_attrs))
+    residual_variance = np.zeros(n_attrs)
+    for k in range(n_attrs):
+        mask = np.ones(n_attrs, dtype=bool)
+        mask[k] = False
+        design = data[:, mask]
+        target = data[:, k]
+        solution, residuals, rank, _ = np.linalg.lstsq(design, target)
+        if rank < design.shape[1]:
+            raise FdxIllConditioned(
+                f"rank-deficient design matrix when regressing {names[k]!r}"
+            )
+        coefficients[k, mask] = solution
+        fitted = design @ solution
+        residual_variance[k] = float(np.var(target - fitted))
+
+    # LiNGAM-style causal order: ascending residual variance — variables
+    # explained well by the others sit downstream.
+    order_idx = np.argsort(residual_variance, kind="stable")
+    position = np.empty(n_attrs, dtype=np.int64)
+    position[order_idx] = np.arange(n_attrs)
+
+    fds: list[FD] = []
+    for k in range(n_attrs):
+        parents = [
+            names[i]
+            for i in range(n_attrs)
+            if i != k
+            and abs(coefficients[k, i]) >= threshold
+            and position[i] < position[k]
+        ]
+        if parents:
+            fds.append(FD(tuple(parents), names[k]))
+
+    return FdxResult(
+        fds=fds,
+        coefficient_matrix=coefficients,
+        residual_variances={
+            names[i]: float(residual_variance[i]) for i in range(n_attrs)
+        },
+        order=[names[i] for i in order_idx[::-1]],
+    )

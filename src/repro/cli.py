@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+synthesize  CSV in → synthesized DSL program (stdout or file)
+check       program + CSV → violation report
+rectify     program + CSV → repaired CSV
+datasets    list the 12 dataset twins, or export one as CSV
+to-sql      program → SQL (audit query / CHECK clauses / UPDATEs)
+experiment  regenerate one or all of the paper's tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .dsl import (
+    check_constraints,
+    format_program,
+    parse_program,
+    rectify_updates,
+    violations_query,
+)
+from .errors import apply_strategy, detect_errors
+from .relation import read_csv, write_csv
+from .synth import GuardrailConfig, synthesize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GUARDRAIL: synthesize integrity constraints from noisy "
+            "data and use them to detect and rectify errors."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser(
+        "synthesize", help="synthesize a DSL program from a CSV file"
+    )
+    synth.add_argument("csv", type=Path, help="input data (CSV with header)")
+    synth.add_argument(
+        "-o", "--output", type=Path, help="write the program here"
+    )
+    synth.add_argument(
+        "--epsilon", type=float, default=0.02,
+        help="noise tolerance of Eqn. 3 (default 0.02)",
+    )
+    synth.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="CI-test significance level (default 0.01)",
+    )
+    synth.add_argument(
+        "--min-support", type=int, default=4,
+        help="minimum rows per warranted condition (default 4)",
+    )
+    synth.add_argument(
+        "--max-dags", type=int, default=256,
+        help="MEC enumeration cap (default 256)",
+    )
+    synth.add_argument("--seed", type=int, default=0)
+
+    check = sub.add_parser(
+        "check", help="report rows of a CSV violating a saved program"
+    )
+    check.add_argument("program", type=Path, help="saved DSL program")
+    check.add_argument("csv", type=Path, help="data to vet")
+    check.add_argument(
+        "--limit", type=int, default=20,
+        help="max violating rows to print (default 20)",
+    )
+
+    rectify = sub.add_parser(
+        "rectify", help="repair a CSV against a saved program"
+    )
+    rectify.add_argument("program", type=Path)
+    rectify.add_argument("csv", type=Path)
+    rectify.add_argument(
+        "-o", "--output", type=Path, required=True,
+        help="where to write the repaired CSV",
+    )
+    rectify.add_argument(
+        "--strategy",
+        choices=["rectify", "coerce", "ignore", "raise"],
+        default="rectify",
+    )
+
+    datasets = sub.add_parser(
+        "datasets", help="list or export the 12 evaluation dataset twins"
+    )
+    datasets.add_argument(
+        "--export", metavar="ID", help="dataset id or name to export"
+    )
+    datasets.add_argument("-o", "--output", type=Path)
+    datasets.add_argument(
+        "--rows", type=int, help="row count override (default: Table 2)"
+    )
+    datasets.add_argument("--seed", type=int, default=None)
+
+    to_sql = sub.add_parser(
+        "to-sql", help="translate a saved program to SQL"
+    )
+    to_sql.add_argument("program", type=Path)
+    to_sql.add_argument(
+        "--table", default="data", help="target table name"
+    )
+    to_sql.add_argument(
+        "--mode",
+        choices=["audit", "check", "update"],
+        default="audit",
+    )
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="regenerate one or all of the paper's tables/figures",
+    )
+    experiment.add_argument(
+        "artifact",
+        nargs="?",
+        help=(
+            "artifact key (table1, table3, ..., fig6, fig7, optsmt); "
+            "omit to run all and emit a Markdown report"
+        ),
+    )
+    experiment.add_argument(
+        "-o", "--output", type=Path,
+        help="write the report here instead of stdout",
+    )
+    experiment.add_argument(
+        "--scale-rows", type=int, default=None,
+        help="row cap per dataset (default: REPRO_SCALE_ROWS or 2400)",
+    )
+
+    return parser
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    config = GuardrailConfig(
+        epsilon=args.epsilon,
+        alpha=args.alpha,
+        min_support=args.min_support,
+        max_dags=args.max_dags,
+        seed=args.seed,
+    )
+    result = synthesize(relation, config)
+    text = format_program(result.program)
+    print(
+        f"-- {len(result.program)} statements, "
+        f"{len(result.program.branches)} branches, "
+        f"coverage {result.coverage:.3f}, loss {result.loss}, "
+        f"{result.n_dags_enumerated} DAGs enumerated",
+        file=sys.stderr,
+    )
+    if args.output:
+        args.output.write_text(text + "\n", encoding="utf-8")
+        print(f"program written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    program = parse_program(args.program.read_text(encoding="utf-8"))
+    relation = read_csv(args.csv)
+    result = detect_errors(program, relation)
+    print(
+        f"{result.n_flagged_rows} of {relation.n_rows} rows violate "
+        f"the constraints"
+    )
+    for violation in result.violations[: args.limit]:
+        print(
+            f"  row {violation.row}: {violation.attribute} should be "
+            f"{violation.expected!r} "
+            f"(found {relation.value(violation.row, violation.attribute)!r})"
+        )
+    if len(result.violations) > args.limit:
+        print(f"  ... and {len(result.violations) - args.limit} more")
+    return 1 if result.n_flagged_rows else 0
+
+
+def _cmd_rectify(args: argparse.Namespace) -> int:
+    program = parse_program(args.program.read_text(encoding="utf-8"))
+    relation = read_csv(args.csv)
+    outcome = apply_strategy(program, relation, args.strategy)
+    write_csv(outcome.relation, args.output)
+    print(
+        f"{outcome.n_changed} cells changed "
+        f"({outcome.detection.n_flagged_rows} violating rows); "
+        f"wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .datasets import DATASETS, load
+
+    if args.export is None:
+        print(f"{'id':<3} {'name':<34} {'category':<14} attrs rows")
+        for spec in DATASETS:
+            print(
+                f"{spec.id:<3} {spec.name:<34} {spec.category:<14} "
+                f"{spec.n_attributes:<5} {spec.n_rows}"
+            )
+        return 0
+    key: "int | str" = (
+        int(args.export) if args.export.isdigit() else args.export
+    )
+    dataset = load(key, n_rows=args.rows, seed=args.seed)
+    target = args.output or Path(
+        dataset.spec.name.lower().replace(" ", "_") + ".csv"
+    )
+    write_csv(dataset.relation, target)
+    print(
+        f"wrote {dataset.relation.n_rows} rows x "
+        f"{len(dataset.relation.schema)} attrs to {target}"
+    )
+    return 0
+
+
+def _cmd_to_sql(args: argparse.Namespace) -> int:
+    program = parse_program(args.program.read_text(encoding="utf-8"))
+    if args.mode == "audit":
+        print(violations_query(program, args.table))
+    elif args.mode == "check":
+        for clause in check_constraints(program):
+            print(clause + ",")
+    else:
+        for update in rectify_updates(program, args.table):
+            print(update)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        ExperimentContext,
+        artifact_keys,
+        generate_report,
+        run_artifact,
+    )
+
+    kwargs = {}
+    if args.scale_rows is not None:
+        kwargs["scale_rows"] = args.scale_rows
+    context = ExperimentContext(**kwargs)
+    if args.artifact:
+        if args.artifact not in artifact_keys():
+            print(
+                f"unknown artifact {args.artifact!r}; choose from: "
+                + ", ".join(artifact_keys()),
+                file=sys.stderr,
+            )
+            return 2
+        body = run_artifact(args.artifact, context)
+        if args.output:
+            args.output.write_text(body + "\n", encoding="utf-8")
+        else:
+            print(body)
+        return 0
+    report = generate_report(context)
+    if args.output:
+        args.output.write_text(report, encoding="utf-8")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "check": _cmd_check,
+    "rectify": _cmd_rectify,
+    "datasets": _cmd_datasets,
+    "to-sql": _cmd_to_sql,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Synthetic twins of the paper's 12 evaluation datasets (Table 2)."""
+
+from .networks import NetworkSpec
+from .queries import BenchQuery, queries_for
+from .registry import (
+    DATASETS,
+    Dataset,
+    DatasetError,
+    DatasetSpec,
+    get_spec,
+    load,
+    load_all,
+)
+
+__all__ = [
+    "NetworkSpec",
+    "BenchQuery",
+    "queries_for",
+    "DATASETS",
+    "Dataset",
+    "DatasetError",
+    "DatasetSpec",
+    "get_spec",
+    "load",
+    "load_all",
+]

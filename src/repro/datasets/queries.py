@@ -1,0 +1,74 @@
+"""The 48 ML-integrated SQL queries of RQ2 (four per dataset).
+
+The paper's authors hand-wrote four queries of varied complexity per
+dataset; we generate four *shapes* instantiated with each dataset's own
+attributes, mirroring the examples shown in the paper (Fig. 1's grouped
+average, the case study's ``GROUP BY income_pred`` aggregate, CASE WHEN
+indicator averages, and a filtered class-share query):
+
+Q1  prediction histogram              — GROUP BY prediction, COUNT(*)
+Q2  grouped indicator average         — AVG(CASE WHEN attr=v ...) per prediction
+Q3  filtered class share              — AVG(CASE WHEN pred=v ...) under WHERE
+Q4  per-category positive counts      — WHERE pred=v GROUP BY attr
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registry import Dataset
+
+
+@dataclass(frozen=True)
+class BenchQuery:
+    """One ML-integrated SQL query of the RQ2 workload."""
+
+    dataset_id: int
+    index: int
+    sql: str
+
+    @property
+    def name(self) -> str:
+        return f"D{self.dataset_id}-Q{self.index}"
+
+
+def _value(dataset: Dataset, attribute: str, code: int = 0) -> str:
+    codec = dataset.relation.codec(attribute)
+    value = codec.decode_one(min(code, codec.cardinality - 1))
+    return str(value).replace("'", "''")
+
+
+def queries_for(
+    dataset: Dataset, table: str = "t", model: str = "m"
+) -> list[BenchQuery]:
+    """The four RQ2 queries for a dataset twin."""
+    features = dataset.feature_names()
+    probe = features[0]
+    filter_attr = features[1] if len(features) > 1 else probe
+    probe_value = _value(dataset, probe, 0)
+    filter_value = _value(dataset, filter_attr, 0)
+    target_value = _value(dataset, dataset.target, 0)
+
+    q1 = (
+        f"SELECT PREDICT({model}) AS pred, COUNT(*) AS n "
+        f"FROM {table} GROUP BY pred ORDER BY pred"
+    )
+    q2 = (
+        f"SELECT PREDICT({model}) AS pred, "
+        f"AVG(CASE WHEN {probe} = '{probe_value}' THEN 1 ELSE 0 END) "
+        f"AS share FROM {table} GROUP BY pred ORDER BY pred"
+    )
+    q3 = (
+        f"SELECT AVG(CASE WHEN PREDICT({model}) = '{target_value}' "
+        f"THEN 1 ELSE 0 END) AS positive_rate "
+        f"FROM {table} WHERE {filter_attr} = '{filter_value}'"
+    )
+    q4 = (
+        f"SELECT {probe}, COUNT(*) AS n FROM {table} "
+        f"WHERE PREDICT({model}) = '{target_value}' "
+        f"GROUP BY {probe} ORDER BY {probe}"
+    )
+    return [
+        BenchQuery(dataset.spec.id, i + 1, sql)
+        for i, sql in enumerate((q1, q2, q3, q4))
+    ]

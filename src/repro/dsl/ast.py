@@ -1,0 +1,191 @@
+"""Abstract syntax of the GUARDRAIL DSL (paper §2.2, Fig. 2).
+
+The DSL models a discrete data-generating process::
+
+    p ∈ Prog      := s*
+    s ∈ Stmt      := GIVEN a+ ON a HAVING b+
+    b ∈ Branch    := IF c THEN a <- l
+    c ∈ Condition := a = l | c AND c
+    l ∈ Literal   := String | Number | Boolean
+
+All nodes are immutable and hashable so programs can be cached, compared,
+and used as dict keys by the synthesis cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+Literal = Hashable
+"""A constant attribute value (string, number, or boolean)."""
+
+
+class DslError(ValueError):
+    """Raised for structurally invalid DSL constructs."""
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunction of equality atoms ``a = l AND a' = l' AND ...``.
+
+    Atoms are stored sorted by attribute name so that two conditions with
+    the same atoms in different order compare equal.
+    """
+
+    atoms: tuple[tuple[str, Literal], ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise DslError("a condition needs at least one atom")
+        names = [name for name, _ in self.atoms]
+        if len(set(names)) != len(names):
+            raise DslError(f"condition repeats an attribute: {names}")
+        object.__setattr__(self, "atoms", tuple(sorted(self.atoms)))
+
+    @classmethod
+    def of(cls, **atoms: Literal) -> "Condition":
+        """Convenience constructor: ``Condition.of(city="Berkeley")``."""
+        return cls(tuple(atoms.items()))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.atoms)
+
+    def value_of(self, attribute: str) -> Literal:
+        for name, literal in self.atoms:
+            if name == attribute:
+                return literal
+        raise DslError(f"condition has no atom on {attribute!r}")
+
+    def conjoin(self, other: "Condition") -> "Condition":
+        """Conjunction ``c AND c`` of two conditions (disjoint attributes)."""
+        return Condition(self.atoms + other.atoms)
+
+    def __str__(self) -> str:
+        return " AND ".join(f"{a} = {l!r}" for a, l in self.atoms)
+
+
+@dataclass(frozen=True)
+class Branch:
+    """``IF condition THEN dependent <- literal``."""
+
+    condition: Condition
+    dependent: str
+    literal: Literal
+
+    def __post_init__(self) -> None:
+        if self.dependent in self.condition.attributes:
+            raise DslError(
+                f"dependent {self.dependent!r} also appears in the condition"
+            )
+
+    def __str__(self) -> str:
+        return f"IF {self.condition} THEN {self.dependent} <- {self.literal!r}"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``GIVEN determinants ON dependent HAVING branches``.
+
+    Every branch must assign the statement's dependent attribute and
+    condition exactly on the statement's determinant set.
+    """
+
+    determinants: tuple[str, ...]
+    dependent: str
+    branches: tuple[Branch, ...]
+
+    def __post_init__(self) -> None:
+        if not self.determinants:
+            raise DslError("a statement needs at least one determinant")
+        if len(set(self.determinants)) != len(self.determinants):
+            raise DslError("duplicate determinant attributes")
+        if self.dependent in self.determinants:
+            raise DslError("dependent attribute cannot be a determinant")
+        object.__setattr__(self, "determinants", tuple(sorted(self.determinants)))
+        det = set(self.determinants)
+        seen_conditions: set[Condition] = set()
+        for branch in self.branches:
+            if branch.dependent != self.dependent:
+                raise DslError(
+                    f"branch assigns {branch.dependent!r}, statement is on "
+                    f"{self.dependent!r}"
+                )
+            if set(branch.condition.attributes) != det:
+                raise DslError(
+                    "branch condition attributes "
+                    f"{branch.condition.attributes} != determinants "
+                    f"{self.determinants}"
+                )
+            if branch.condition in seen_conditions:
+                raise DslError(f"duplicate branch condition: {branch.condition}")
+            seen_conditions.add(branch.condition)
+
+    def __iter__(self) -> Iterator[Branch]:
+        return iter(self.branches)
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __str__(self) -> str:
+        head = f"GIVEN {', '.join(self.determinants)} ON {self.dependent} HAVING"
+        body = ";\n  ".join(str(b) for b in self.branches)
+        return f"{head}\n  {body}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole DGP program: a sequence of statements.
+
+    Statement order is preserved (it is the rectification order) but does
+    not affect detection semantics.
+    """
+
+    statements: tuple[Statement, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def of(cls, statements: Iterable[Statement]) -> "Program":
+        return cls(tuple(statements))
+
+    @classmethod
+    def empty(cls) -> "Program":
+        return cls(())
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __bool__(self) -> bool:
+        return bool(self.statements)
+
+    @property
+    def branches(self) -> tuple[Branch, ...]:
+        """All branches across all statements (paper's ``b ∈ p``)."""
+        return tuple(b for s in self.statements for b in s.branches)
+
+    @property
+    def dependents(self) -> tuple[str, ...]:
+        return tuple(s.dependent for s in self.statements)
+
+    def statement_for(self, dependent: str) -> Statement | None:
+        """The first statement whose dependent is ``dependent``, if any."""
+        for statement in self.statements:
+            if statement.dependent == dependent:
+                return statement
+        return None
+
+    def attributes(self) -> set[str]:
+        """All attributes mentioned anywhere in the program."""
+        out: set[str] = set()
+        for statement in self.statements:
+            out.update(statement.determinants)
+            out.add(statement.dependent)
+        return out
+
+    def __str__(self) -> str:
+        if not self.statements:
+            return "<empty program>"
+        return "\n".join(str(s) for s in self.statements)

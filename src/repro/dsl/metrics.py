@@ -1,0 +1,95 @@
+"""Loss, ε-validity, and coverage of DSL constructs (paper §2.2).
+
+* **Branch loss** (Eqn. 2): the number of rows satisfying the branch
+  condition whose dependent value differs from the branch literal.
+* **ε-validity** (Eqns. 3–4): every branch's loss stays within an
+  ``ε`` fraction of its applicable rows.
+* **Coverage** (Eqns. 5–6): the fraction of rows a branch/statement
+  touches; program coverage averages statement coverages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..relation import Relation
+from .ast import Branch, Program, Statement
+from .semantics import branch_masks, statement_coverage_mask
+
+
+def branch_loss(branch: Branch, relation: Relation) -> int:
+    """``L(b, D)``: count of applicable rows violating the branch."""
+    _, violating = branch_masks(branch, relation)
+    return int(np.count_nonzero(violating))
+
+
+def branch_support(branch: Branch, relation: Relation) -> int:
+    """``|D^b|``: count of rows satisfying the branch condition."""
+    applicable, _ = branch_masks(branch, relation)
+    return int(np.count_nonzero(applicable))
+
+
+def branch_is_valid(branch: Branch, relation: Relation, epsilon: float) -> bool:
+    """Branch-level ε-validity: ``L(b, D) <= |D^b| * ε``."""
+    applicable, violating = branch_masks(branch, relation)
+    support = int(np.count_nonzero(applicable))
+    loss = int(np.count_nonzero(violating))
+    return loss <= support * epsilon
+
+
+def statement_loss(statement: Statement, relation: Relation) -> int:
+    """Total loss across all branches of a statement."""
+    return sum(branch_loss(b, relation) for b in statement.branches)
+
+
+def statement_is_valid(
+    statement: Statement, relation: Relation, epsilon: float
+) -> bool:
+    """Statement-level ε-validity (Eqn. 4): all branches are ε-valid."""
+    return all(branch_is_valid(b, relation, epsilon) for b in statement.branches)
+
+
+def program_loss(program: Program, relation: Relation) -> int:
+    """Total loss across all branches of a program."""
+    return sum(statement_loss(s, relation) for s in program.statements)
+
+
+def program_is_valid(
+    program: Program, relation: Relation, epsilon: float
+) -> bool:
+    """Program-level ε-validity (Eqn. 3): all branches are ε-valid."""
+    return all(
+        statement_is_valid(s, relation, epsilon) for s in program.statements
+    )
+
+
+def branch_coverage(branch: Branch, relation: Relation) -> float:
+    """``cov(b, D) = |D^b| / |D|`` (Eqn. 5)."""
+    if relation.n_rows == 0:
+        return 0.0
+    return branch_support(branch, relation) / relation.n_rows
+
+
+def statement_coverage(statement: Statement, relation: Relation) -> float:
+    """``cov(s, D) = |D^s| / |D|`` (Eqn. 6).
+
+    Branch conditions within a statement are mutually exclusive (distinct
+    determinant value combinations), so the union equals the sum of the
+    branch coverages, as the paper notes.
+    """
+    if relation.n_rows == 0:
+        return 0.0
+    mask = statement_coverage_mask(statement, relation)
+    return int(np.count_nonzero(mask)) / relation.n_rows
+
+
+def program_coverage(program: Program, relation: Relation) -> float:
+    """Program coverage: the average coverage of its statements.
+
+    An empty program has zero coverage — this is what makes the trivial
+    program ``p = ∅`` lose to any informative program in Algorithm 2.
+    """
+    if not program.statements:
+        return 0.0
+    total = sum(statement_coverage(s, relation) for s in program.statements)
+    return total / len(program.statements)

@@ -1,0 +1,226 @@
+"""Text syntax for the DSL: parser and pretty-printer.
+
+The concrete syntax follows Fig. 2 of the paper::
+
+    GIVEN rel ON marital-status HAVING
+      IF rel = 'Husband' THEN marital-status <- 'Married-civ-spouse';
+      IF rel = 'Wife' THEN marital-status <- 'Married-civ-spouse'
+
+``format_program`` and ``parse_program`` round-trip: for every program
+``p``, ``parse_program(format_program(p)) == p``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from .ast import Branch, Condition, DslError, Literal, Program, Statement
+
+
+class DslSyntaxError(DslError):
+    """Raised on malformed DSL text."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<NUMBER>-?\d+\.\d+|-?\d+)
+  | (?P<ARROW><-)
+  | (?P<EQUALS>=)
+  | (?P<COMMA>,)
+  | (?P<SEMI>;)
+  | (?P<WORD>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"GIVEN", "ON", "HAVING", "IF", "THEN", "AND"}
+_CONSTANTS: dict[str, Literal] = {"TRUE": True, "FALSE": False, "NONE": None}
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DslSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            word = match.group()
+            if kind == "WORD" and word.upper() in _KEYWORDS:
+                kind = word.upper()
+            yield _Token(kind, word, position)
+        position = match.end()
+    yield _Token("EOF", "", position)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = list(_tokenize(text))
+        self._cursor = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._cursor]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._cursor]
+        self._cursor += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise DslSyntaxError(
+                f"expected {kind} at offset {token.position}, "
+                f"found {token.kind} ({token.text!r})"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> bool:
+        if self._peek().kind == kind:
+            self._advance()
+            return True
+        return False
+
+    # Grammar ----------------------------------------------------------
+
+    def program(self) -> Program:
+        statements = []
+        while self._peek().kind != "EOF":
+            statements.append(self.statement())
+            self._accept("SEMI")
+        return Program(tuple(statements))
+
+    def statement(self) -> Statement:
+        self._expect("GIVEN")
+        determinants = [self._attribute()]
+        while self._accept("COMMA"):
+            determinants.append(self._attribute())
+        self._expect("ON")
+        dependent = self._attribute()
+        self._expect("HAVING")
+        branches = [self.branch(dependent)]
+        while self._peek().kind == "SEMI" and self._lookahead_is_branch():
+            self._advance()  # consume ';'
+            branches.append(self.branch(dependent))
+        return Statement(tuple(determinants), dependent, tuple(branches))
+
+    def _lookahead_is_branch(self) -> bool:
+        return self._tokens[self._cursor + 1].kind == "IF"
+
+    def branch(self, dependent: str) -> Branch:
+        self._expect("IF")
+        condition = self.condition()
+        self._expect("THEN")
+        target = self._attribute()
+        if target != dependent:
+            raise DslSyntaxError(
+                f"branch assigns {target!r} but statement is ON {dependent!r}"
+            )
+        self._expect("ARROW")
+        literal = self._literal()
+        return Branch(condition, target, literal)
+
+    def condition(self) -> Condition:
+        atoms = [self._atom()]
+        while self._accept("AND"):
+            atoms.append(self._atom())
+        return Condition(tuple(atoms))
+
+    def _atom(self) -> tuple[str, Literal]:
+        attribute = self._attribute()
+        self._expect("EQUALS")
+        return attribute, self._literal()
+
+    def _attribute(self) -> str:
+        token = self._expect("WORD")
+        return token.text
+
+    def _literal(self) -> Literal:
+        token = self._peek()
+        if token.kind == "STRING":
+            self._advance()
+            body = token.text[1:-1]
+            return re.sub(r"\\(.)", r"\1", body)
+        if token.kind == "NUMBER":
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "WORD" and token.text.upper() in _CONSTANTS:
+            self._advance()
+            return _CONSTANTS[token.text.upper()]
+        if token.kind == "WORD":
+            # Bare words are accepted as string literals for convenience.
+            self._advance()
+            return token.text
+        raise DslSyntaxError(
+            f"expected a literal at offset {token.position}, found {token.text!r}"
+        )
+
+
+def parse_program(text: str) -> Program:
+    """Parse DSL text into a :class:`Program`."""
+    return _Parser(text).program()
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement; rejects trailing content."""
+    parser = _Parser(text)
+    statement = parser.statement()
+    parser._accept("SEMI")
+    if parser._peek().kind != "EOF":
+        raise DslSyntaxError("trailing content after statement")
+    return statement
+
+
+# ---------------------------------------------------------------------------
+# Pretty printing
+# ---------------------------------------------------------------------------
+
+
+def format_literal(literal: Literal) -> str:
+    if isinstance(literal, bool):
+        return "TRUE" if literal else "FALSE"
+    if literal is None:
+        return "NONE"
+    if isinstance(literal, str):
+        escaped = literal.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(literal, float) and literal == int(literal):
+        return f"{literal:.1f}"
+    return str(literal)
+
+
+def format_condition(condition: Condition) -> str:
+    return " AND ".join(
+        f"{name} = {format_literal(value)}" for name, value in condition.atoms
+    )
+
+
+def format_branch(branch: Branch) -> str:
+    return (
+        f"IF {format_condition(branch.condition)} "
+        f"THEN {branch.dependent} <- {format_literal(branch.literal)}"
+    )
+
+
+def format_statement(statement: Statement) -> str:
+    head = (
+        f"GIVEN {', '.join(statement.determinants)} "
+        f"ON {statement.dependent} HAVING"
+    )
+    body = ";\n  ".join(format_branch(b) for b in statement.branches)
+    return f"{head}\n  {body}"
+
+
+def format_program(program: Program) -> str:
+    return ";\n".join(format_statement(s) for s in program.statements)

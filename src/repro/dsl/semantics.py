@@ -1,0 +1,136 @@
+"""Denotational semantics of the DSL (paper §2.2, Fig. 2).
+
+Two evaluation modes are provided:
+
+* **Row semantics** — ``[[p]]_t``: execute a program on a single row
+  (a dict-shaped program state), producing the updated state.  This is
+  the semantics of Fig. 2 and drives rectification.
+* **Vectorized semantics** — evaluate condition masks and violation
+  masks over an entire :class:`~repro.relation.Relation` at once, which
+  is how detection and the loss function are computed at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from ..relation import MISSING, Relation
+from .ast import Branch, Condition, Program, Statement
+
+Row = dict[str, Hashable]
+
+
+# ---------------------------------------------------------------------------
+# Row semantics
+# ---------------------------------------------------------------------------
+
+
+def condition_holds(condition: Condition, row: Row) -> bool:
+    """``[[c]]_t``: does the row satisfy every equality atom?"""
+    return all(row.get(name) == literal for name, literal in condition.atoms)
+
+
+def apply_branch(branch: Branch, row: Row) -> Row:
+    """``[[b]]_t``: if the condition holds, assign the dependent."""
+    if condition_holds(branch.condition, row):
+        updated = dict(row)
+        updated[branch.dependent] = branch.literal
+        return updated
+    return row
+
+
+def apply_statement(statement: Statement, row: Row) -> Row:
+    """``[[s]]_t``: apply the (at most one) matching branch."""
+    for branch in statement.branches:
+        if condition_holds(branch.condition, row):
+            updated = dict(row)
+            updated[branch.dependent] = branch.literal
+            return updated
+    return row
+
+
+def run_program(program: Program, row: Row) -> Row:
+    """``[[p]]_t``: thread the state through every statement in order."""
+    state = dict(row)
+    for statement in program.statements:
+        state = apply_statement(statement, state)
+    return state
+
+
+def row_conforms(program: Program, row: Row) -> bool:
+    """The error-detection assertion (paper Eqn. 1): ``[[p]]_t = t``."""
+    return run_program(program, row) == dict(row)
+
+
+def branch_matches(statement: Statement, row: Row) -> Branch | None:
+    """The branch of ``statement`` whose condition the row satisfies."""
+    for branch in statement.branches:
+        if condition_holds(branch.condition, row):
+            return branch
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Vectorized semantics over relations
+# ---------------------------------------------------------------------------
+
+
+def _literal_code(relation: Relation, attribute: str, literal: Hashable) -> int:
+    """Encode ``literal`` under the relation's codec; unseen → sentinel."""
+    codec = relation.codec(attribute)
+    if literal is None:
+        return MISSING
+    if literal in codec:
+        return codec.encode_one(literal)
+    return -2  # matches nothing, including MISSING
+
+
+def condition_mask(condition: Condition, relation: Relation) -> np.ndarray:
+    """Boolean mask of rows satisfying the condition (``D^b`` membership)."""
+    mask = np.ones(relation.n_rows, dtype=bool)
+    for name, literal in condition.atoms:
+        code = _literal_code(relation, name, literal)
+        mask &= relation.codes(name) == code
+    return mask
+
+
+def branch_masks(
+    branch: Branch, relation: Relation
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(applicable, violating)`` masks for a branch.
+
+    ``applicable`` is the condition mask (rows in ``D^b``); ``violating``
+    are applicable rows whose dependent value differs from the branch
+    literal — exactly the rows counted by the 0/1 loss.
+    """
+    applicable = condition_mask(branch.condition, relation)
+    expected = _literal_code(relation, branch.dependent, branch.literal)
+    violating = applicable & (relation.codes(branch.dependent) != expected)
+    return applicable, violating
+
+
+def statement_violations(statement: Statement, relation: Relation) -> np.ndarray:
+    """Mask of rows violating any branch of the statement."""
+    out = np.zeros(relation.n_rows, dtype=bool)
+    for branch in statement.branches:
+        _, violating = branch_masks(branch, relation)
+        out |= violating
+    return out
+
+
+def program_violations(program: Program, relation: Relation) -> np.ndarray:
+    """Mask of rows violating the program (Eqn. 1 vectorized over D)."""
+    out = np.zeros(relation.n_rows, dtype=bool)
+    for statement in program.statements:
+        out |= statement_violations(statement, relation)
+    return out
+
+
+def statement_coverage_mask(statement: Statement, relation: Relation) -> np.ndarray:
+    """Mask of rows covered by any branch of the statement (``D^s``)."""
+    out = np.zeros(relation.n_rows, dtype=bool)
+    for branch in statement.branches:
+        out |= condition_mask(branch.condition, relation)
+    return out

@@ -1,0 +1,87 @@
+"""Translate DSL programs into standard SQL (paper §9).
+
+The paper notes that the DSL "can be easily translated into standard SQL
+queries"; this module makes that concrete in two flavours:
+
+* :func:`violations_query` — a ``SELECT`` returning rows that violate the
+  program (the detection assertion of Eqn. 1), and
+* :func:`check_constraints` — per-statement ``CHECK`` constraint clauses
+  suitable for a ``CREATE TABLE``/``ALTER TABLE``.
+"""
+
+from __future__ import annotations
+
+from .ast import Branch, Condition, Literal, Program, Statement
+
+
+def _sql_literal(literal: Literal) -> str:
+    if isinstance(literal, bool):
+        return "TRUE" if literal else "FALSE"
+    if literal is None:
+        return "NULL"
+    if isinstance(literal, (int, float)):
+        return str(literal)
+    escaped = str(literal).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _quote_ident(name: str) -> str:
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _condition_sql(condition: Condition) -> str:
+    return " AND ".join(
+        f"{_quote_ident(name)} = {_sql_literal(value)}"
+        for name, value in condition.atoms
+    )
+
+
+def branch_violation_predicate(branch: Branch) -> str:
+    """SQL predicate true exactly on rows that violate the branch."""
+    return (
+        f"({_condition_sql(branch.condition)} AND "
+        f"{_quote_ident(branch.dependent)} <> {_sql_literal(branch.literal)})"
+    )
+
+
+def statement_check_clause(statement: Statement) -> str:
+    """A ``CHECK (...)`` clause asserting no branch of the statement is violated."""
+    violations = " OR ".join(
+        branch_violation_predicate(b) for b in statement.branches
+    )
+    return f"CHECK (NOT ({violations}))"
+
+
+def check_constraints(program: Program) -> list[str]:
+    """One ``CHECK`` clause per statement of the program."""
+    return [statement_check_clause(s) for s in program.statements]
+
+
+def violations_query(program: Program, table: str) -> str:
+    """A ``SELECT`` returning every row of ``table`` violating the program."""
+    if not program.statements:
+        return f"SELECT * FROM {_quote_ident(table)} WHERE FALSE"
+    predicates = [
+        branch_violation_predicate(b)
+        for s in program.statements
+        for b in s.branches
+    ]
+    where = "\n   OR ".join(predicates)
+    return f"SELECT * FROM {_quote_ident(table)}\nWHERE {where}"
+
+
+def rectify_updates(program: Program, table: str) -> list[str]:
+    """``UPDATE`` statements implementing the *rectify* strategy in SQL."""
+    updates = []
+    for statement in program.statements:
+        for branch in statement.branches:
+            updates.append(
+                f"UPDATE {_quote_ident(table)} "
+                f"SET {_quote_ident(branch.dependent)} = "
+                f"{_sql_literal(branch.literal)} "
+                f"WHERE {_condition_sql(branch.condition)} "
+                f"AND {_quote_ident(branch.dependent)} <> "
+                f"{_sql_literal(branch.literal)};"
+            )
+    return updates

@@ -1,0 +1,74 @@
+"""Violation detection against a synthesized program (paper Eqn. 1).
+
+A row *violates* the program when executing the DGP program on it
+changes some attribute — the branch whose condition the row satisfies
+assigns a different value than the one observed.  Detection reports both
+row-level verdicts and the implicated cells (the dependent attribute of
+each violated branch), which is what cell-level scoring and the rectify
+strategy consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsl import Branch, Program, branch_masks
+from ..relation import Relation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One branch violated by one row."""
+
+    row: int
+    branch: Branch
+
+    @property
+    def attribute(self) -> str:
+        return self.branch.dependent
+
+    @property
+    def expected(self) -> object:
+        return self.branch.literal
+
+
+@dataclass
+class DetectionResult:
+    """All violations of a program over a relation."""
+
+    row_mask: np.ndarray
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def n_flagged_rows(self) -> int:
+        return int(np.count_nonzero(self.row_mask))
+
+    def flagged_rows(self) -> np.ndarray:
+        return np.nonzero(self.row_mask)[0]
+
+    def by_row(self) -> dict[int, list[Violation]]:
+        out: dict[int, list[Violation]] = {}
+        for violation in self.violations:
+            out.setdefault(violation.row, []).append(violation)
+        return out
+
+    def flagged_cells(self) -> set[tuple[int, str]]:
+        """(row, attribute) pairs the program implicates."""
+        return {(v.row, v.attribute) for v in self.violations}
+
+
+def detect_errors(program: Program, relation: Relation) -> DetectionResult:
+    """Find every (row, branch) violation, vectorized per branch."""
+    row_mask = np.zeros(relation.n_rows, dtype=bool)
+    violations: list[Violation] = []
+    for statement in program:
+        for branch in statement.branches:
+            _, violating = branch_masks(branch, relation)
+            if not violating.any():
+                continue
+            row_mask |= violating
+            for row in np.nonzero(violating)[0]:
+                violations.append(Violation(int(row), branch))
+    return DetectionResult(row_mask=row_mask, violations=violations)

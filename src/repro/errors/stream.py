@@ -1,0 +1,176 @@
+"""Streaming row-level guarding (the deployment mode of Fig. 1).
+
+The batch path (:mod:`repro.errors.detect`) vectorizes over a whole
+relation; production guardrails instead vet rows *one at a time* as
+they arrive at the model.  :class:`RowGuard` compiles a program into
+per-statement hash indexes (determinant values → expected literal), so
+each row costs O(#statements) dictionary probes regardless of how many
+branches the program has.
+
+    guard = RowGuard(program)
+    verdict = guard.check({"rel": "Husband", "marital-status": "Single"})
+    verdict.ok                 # False
+    verdict.violations         # [("marital-status", "Married-civ-spouse")]
+    guard.rectify(row)         # repaired copy of the row
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from ..dsl import Program
+
+
+@dataclass(frozen=True)
+class RowVerdict:
+    """Outcome of vetting one row."""
+
+    ok: bool
+    violations: tuple[tuple[str, Hashable], ...] = ()
+    """(attribute, expected value) per violated statement."""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass
+class _CompiledStatement:
+    determinants: tuple[str, ...]
+    dependent: str
+    table: dict[tuple[Hashable, ...], Hashable]
+
+
+@dataclass
+class GuardStats:
+    """Counters a long-running guard accumulates."""
+
+    rows_checked: int = 0
+    rows_flagged: int = 0
+    rows_rectified: int = 0
+    violations_by_attribute: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def violation_rate(self) -> float:
+        if self.rows_checked == 0:
+            return 0.0
+        return self.rows_flagged / self.rows_checked
+
+
+class RowGuard:
+    """A program compiled for per-row checking and repair."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._statements: list[_CompiledStatement] = []
+        for statement in program:
+            table: dict[tuple[Hashable, ...], Hashable] = {}
+            for branch in statement.branches:
+                key = tuple(
+                    branch.condition.value_of(d)
+                    for d in statement.determinants
+                )
+                table[key] = branch.literal
+            self._statements.append(
+                _CompiledStatement(
+                    statement.determinants, statement.dependent, table
+                )
+            )
+        self.stats = GuardStats()
+
+    # ------------------------------------------------------------------
+
+    def check(self, row: Mapping[str, Hashable]) -> RowVerdict:
+        """Vet one row; O(#statements) hash probes."""
+        verdict = self._verdict(row)
+        self.stats.rows_checked += 1
+        if not verdict.ok:
+            self.stats.rows_flagged += 1
+            for attribute, _ in verdict.violations:
+                self.stats.violations_by_attribute[attribute] = (
+                    self.stats.violations_by_attribute.get(attribute, 0)
+                    + 1
+                )
+        return verdict
+
+    def _verdict(self, row: Mapping[str, Hashable]) -> RowVerdict:
+        """Stat-free vetting (used internally by repair)."""
+        violations: list[tuple[str, Hashable]] = []
+        for compiled in self._statements:
+            expected = self._expected(compiled, row)
+            if expected is _NO_BRANCH:
+                continue
+            if row.get(compiled.dependent) != expected:
+                violations.append((compiled.dependent, expected))
+        if violations:
+            return RowVerdict(False, tuple(violations))
+        return RowVerdict(True)
+
+    def rectify(self, row: Mapping[str, Hashable]) -> dict[str, Hashable]:
+        """Repair one row (same policy as the batch rectify strategy).
+
+        Single-cell minimal repair when one conforms; otherwise the
+        per-statement dependent rewrite, applied in program order so
+        upstream repairs feed downstream checks.
+        """
+        from .handle import _program_domains, _repair_row
+
+        verdict = self._verdict(row)
+        if verdict.ok:
+            return dict(row)
+        self.stats.rows_rectified += 1
+        repaired = dict(row)
+        changes = _repair_row(
+            self.program, repaired, _program_domains(self.program)
+        )
+        repaired.update(changes)
+        return repaired
+
+    def process(
+        self, row: Mapping[str, Hashable], strategy: str = "rectify"
+    ) -> dict[str, Hashable] | None:
+        """One-shot vetting under a named strategy.
+
+        ``raise`` raises :class:`DataIntegrityError`; ``ignore`` returns
+        the row as-is; ``coerce`` blanks violated dependents (None);
+        ``rectify`` repairs.  Returns the (possibly modified) row.
+        """
+        from .handle import DataIntegrityError, Strategy
+
+        parsed = Strategy.parse(strategy)
+        if parsed is Strategy.RECTIFY:
+            return self.rectify(row)
+        verdict = self.check(row)
+        if verdict.ok:
+            return dict(row)
+        if parsed is Strategy.RAISE:
+            raise DataIntegrityError(
+                f"row violates {len(verdict.violations)} constraints",
+                rows=[],
+            )
+        out = dict(row)
+        if parsed is Strategy.COERCE:
+            for attribute, _ in verdict.violations:
+                out[attribute] = None
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _expected(
+        self, compiled: _CompiledStatement, row: Mapping[str, Hashable]
+    ):
+        key = tuple(row.get(d, _NO_BRANCH) for d in compiled.determinants)
+        return compiled.table.get(key, _NO_BRANCH)
+
+    def __len__(self) -> int:
+        return len(self._statements)
+
+
+class _Sentinel:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<no-branch>"
+
+
+_NO_BRANCH = _Sentinel()

@@ -1,0 +1,132 @@
+"""Experiment runners regenerating every table and figure of §8."""
+
+from .ablation import AblationRow, format_table8, run_sampler_ablation, run_table8
+from .detection import (
+    DetectionRow,
+    DetectionScores,
+    format_table3,
+    run_detection,
+    run_table3,
+    wins,
+)
+from .epsilon import (
+    DEFAULT_EPSILONS,
+    EpsilonPoint,
+    format_figure7,
+    run_epsilon_sweep,
+    run_figure7,
+)
+from .harness import (
+    ExperimentContext,
+    Prepared,
+    fit_guardrail,
+    format_table,
+    prepare,
+)
+from .learner_ablation import (
+    LearnerRow,
+    format_learner_table,
+    run_learner_ablation,
+    run_learner_table,
+)
+from .mispred import (
+    MispredRow,
+    error_mispred_correlation,
+    format_table1,
+    format_table5,
+    run_mispred,
+    run_table1,
+    run_table5,
+)
+from .optsmt_study import (
+    ClauseRow,
+    SolveRow,
+    clause_counts,
+    format_clauses,
+    format_scaling,
+    scaling_study,
+)
+from .overhead import OverheadRow, format_table6, run_overhead, run_table6
+from .queries import (
+    QueryErrorRow,
+    average_reduction,
+    format_figure6,
+    normalized_series,
+    run_figure6,
+    run_queries,
+)
+from .searchspace import (
+    SearchSpaceRow,
+    format_table7,
+    run_searchspace,
+    run_table7,
+)
+from .report import (
+    ARTIFACTS,
+    artifact_keys,
+    generate_report,
+    run_artifact,
+)
+from .timing import TimingRow, format_table4, run_table4, run_timing
+
+__all__ = [
+    "ExperimentContext",
+    "Prepared",
+    "prepare",
+    "fit_guardrail",
+    "format_table",
+    "DetectionRow",
+    "DetectionScores",
+    "run_detection",
+    "run_table3",
+    "format_table3",
+    "wins",
+    "MispredRow",
+    "run_mispred",
+    "run_table1",
+    "run_table5",
+    "format_table1",
+    "format_table5",
+    "error_mispred_correlation",
+    "TimingRow",
+    "run_timing",
+    "run_table4",
+    "format_table4",
+    "OverheadRow",
+    "run_overhead",
+    "run_table6",
+    "format_table6",
+    "SearchSpaceRow",
+    "run_searchspace",
+    "run_table7",
+    "format_table7",
+    "AblationRow",
+    "run_sampler_ablation",
+    "run_table8",
+    "format_table8",
+    "QueryErrorRow",
+    "run_queries",
+    "run_figure6",
+    "format_figure6",
+    "normalized_series",
+    "average_reduction",
+    "EpsilonPoint",
+    "DEFAULT_EPSILONS",
+    "run_epsilon_sweep",
+    "run_figure7",
+    "format_figure7",
+    "ClauseRow",
+    "SolveRow",
+    "clause_counts",
+    "scaling_study",
+    "format_clauses",
+    "format_scaling",
+    "ARTIFACTS",
+    "artifact_keys",
+    "generate_report",
+    "run_artifact",
+    "LearnerRow",
+    "run_learner_ablation",
+    "run_learner_table",
+    "format_learner_table",
+]

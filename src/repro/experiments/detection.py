@@ -1,0 +1,168 @@
+"""RQ1 — error detection effectiveness (paper Table 3).
+
+Per dataset: discover constraints on the clean split with GUARDRAIL and
+each FD baseline, flag rows of the error-injected split, and score the
+flags against the injected ground truth with F1 and MCC.  Baselines that
+die (FDX's ill-conditioned regression) report ``None``, rendered as the
+paper's "-".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import (
+    CFDErrorDetector,
+    FDErrorDetector,
+    FdxIllConditioned,
+    ctane,
+    fdx,
+    tane,
+)
+from ..metrics import confusion, f1_score, mcc_score
+from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, prepare
+
+
+@dataclass
+class DetectionScores:
+    f1: float | None
+    mcc: float | None
+    flagged: int = 0
+
+    @classmethod
+    def from_masks(
+        cls, predicted: np.ndarray, actual: np.ndarray
+    ) -> "DetectionScores":
+        counts = confusion(predicted, actual)
+        return cls(
+            f1=f1_score(counts),
+            mcc=mcc_score(counts),
+            flagged=int(np.count_nonzero(predicted)),
+        )
+
+    @classmethod
+    def failed(cls) -> "DetectionScores":
+        return cls(f1=None, mcc=None)
+
+
+@dataclass
+class DetectionRow:
+    dataset_id: int
+    dataset_name: str
+    guardrail: DetectionScores
+    tane: DetectionScores
+    ctane: DetectionScores
+    fdx: DetectionScores
+
+    def methods(self) -> dict[str, DetectionScores]:
+        return {
+            "Guardrail": self.guardrail,
+            "TANE": self.tane,
+            "CTANE": self.ctane,
+            "FDX": self.fdx,
+        }
+
+
+def run_detection(
+    dataset_key: "int | str",
+    context: ExperimentContext,
+    prepared: Prepared | None = None,
+) -> DetectionRow:
+    prepared = prepared or prepare(dataset_key, context)
+    truth = prepared.injection.row_mask
+    dirty = prepared.test_dirty
+    train = prepared.train
+
+    guard = fit_guardrail(prepared, context)
+    guardrail_scores = DetectionScores.from_masks(guard.check(dirty), truth)
+
+    # TANE runs its approximate-FD variant (g3 tolerance equal to
+    # GUARDRAIL's ε); CTANE keeps its exact constant-CFD semantics.
+    # Both overfit accidental dependencies on noisy data — the paper's
+    # observation — because neither has a structural prior.
+    try:
+        tane_result = tane(train, max_lhs=2, max_error=context.epsilon)
+        detector = FDErrorDetector(tane_result.fds).fit(train)
+        tane_scores = DetectionScores.from_masks(detector.detect(dirty), truth)
+    except (MemoryError, RuntimeError):
+        tane_scores = DetectionScores.failed()
+
+    try:
+        ctane_result = ctane(
+            train, max_lhs=2, min_support=3, min_confidence=1.0
+        )
+        cfd_detector = CFDErrorDetector(ctane_result.cfds)
+        ctane_scores = DetectionScores.from_masks(
+            cfd_detector.detect(dirty), truth
+        )
+    except (MemoryError, RuntimeError):
+        ctane_scores = DetectionScores.failed()
+
+    try:
+        fdx_result = fdx(train)
+        fdx_detector = FDErrorDetector(fdx_result.fds).fit(train)
+        fdx_scores = DetectionScores.from_masks(
+            fdx_detector.detect(dirty), truth
+        )
+    except FdxIllConditioned:
+        fdx_scores = DetectionScores.failed()
+
+    return DetectionRow(
+        dataset_id=prepared.spec.id,
+        dataset_name=prepared.spec.name,
+        guardrail=guardrail_scores,
+        tane=tane_scores,
+        ctane=ctane_scores,
+        fdx=fdx_scores,
+    )
+
+
+def run_table3(
+    context: ExperimentContext, dataset_ids: list[int] | None = None
+) -> list[DetectionRow]:
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    return [run_detection(i, context) for i in ids]
+
+
+def format_table3(rows: list[DetectionRow]) -> str:
+    headers = ["Dataset", "Metric", "Guardrail", "TANE", "CTANE", "FDX"]
+    body: list[list[object]] = []
+    for row in rows:
+        methods = row.methods()
+        body.append(
+            [row.dataset_id, "F1"]
+            + [methods[m].f1 for m in ("Guardrail", "TANE", "CTANE", "FDX")]
+        )
+        body.append(
+            [row.dataset_id, "MCC"]
+            + [methods[m].mcc for m in ("Guardrail", "TANE", "CTANE", "FDX")]
+        )
+    return format_table(headers, body)
+
+
+def wins(rows: list[DetectionRow]) -> int:
+    """Number of (dataset × metric) comparisons GUARDRAIL ranks first in.
+
+    The paper reports 17 / 24; ties count as wins (rank one includes
+    equal bests) and failed baselines score -inf.
+    """
+    count = 0
+    for row in rows:
+        methods = row.methods()
+        for metric in ("f1", "mcc"):
+            def score(s: DetectionScores) -> float:
+                value = getattr(s, metric)
+                if value is None or value != value:
+                    return float("-inf")
+                return value
+
+            best = max(score(s) for s in methods.values())
+            if score(row.guardrail) >= best and score(
+                row.guardrail
+            ) != float("-inf"):
+                count += 1
+    return count

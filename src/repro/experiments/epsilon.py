@@ -1,0 +1,73 @@
+"""Impact of the ε threshold on coverage and loss (paper Fig. 7).
+
+Sweep ε and record, per dataset, the coverage of the synthesized
+program and its loss rate (violating-row fraction on the training
+data).  The paper's shape: coverage rises with ε while loss rises too,
+with ε ≈ 0.01–0.05 the recommended trade-off region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synth import synthesize
+from .harness import ExperimentContext, Prepared, format_table, prepare
+
+DEFAULT_EPSILONS: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2)
+
+
+@dataclass
+class EpsilonPoint:
+    dataset_id: int
+    epsilon: float
+    coverage: float
+    loss_rate: float
+    n_statements: int
+
+
+def run_epsilon_sweep(
+    dataset_key: "int | str",
+    context: ExperimentContext,
+    epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
+    prepared: Prepared | None = None,
+) -> list[EpsilonPoint]:
+    prepared = prepared or prepare(dataset_key, context)
+    n_rows = max(prepared.train.n_rows, 1)
+    points = []
+    for epsilon in epsilons:
+        result = synthesize(
+            prepared.train, context.guardrail_config(epsilon=epsilon)
+        )
+        points.append(
+            EpsilonPoint(
+                dataset_id=prepared.spec.id,
+                epsilon=epsilon,
+                coverage=result.coverage,
+                loss_rate=result.loss / n_rows,
+                n_statements=len(result.program),
+            )
+        )
+    return points
+
+
+def run_figure7(
+    context: ExperimentContext,
+    dataset_ids: list[int] | None = None,
+    epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
+) -> list[EpsilonPoint]:
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    out: list[EpsilonPoint] = []
+    for dataset_id in ids:
+        out.extend(run_epsilon_sweep(dataset_id, context, epsilons))
+    return out
+
+
+def format_figure7(points: list[EpsilonPoint]) -> str:
+    headers = ["Dataset", "epsilon", "coverage", "loss rate", "#stmts"]
+    body = [
+        [p.dataset_id, p.epsilon, p.coverage, p.loss_rate, p.n_statements]
+        for p in points
+    ]
+    return format_table(headers, body)

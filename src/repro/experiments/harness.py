@@ -1,0 +1,177 @@
+"""Shared experiment harness (setup of §8).
+
+Every evaluation artifact follows the same protocol:
+
+1. materialize a dataset twin (optionally scaled down — this
+   reproduction runs on one core, the paper used a 32-core server);
+2. split it into a clean discovery split and a test split;
+3. inject random errors into the test split (1% rate, small-dataset
+   adjustment per :func:`repro.errors.resolve_error_count`);
+4. hand the pieces to a table/figure-specific runner.
+
+:class:`ExperimentContext` centralizes the knobs so benchmarks and the
+EXPERIMENTS.md generator agree on the workload, and :class:`Prepared`
+caches the per-dataset artifacts that several tables share (the fitted
+Guardrail, the trained model, the injected errors).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets import Dataset, DatasetSpec, get_spec, load
+from ..errors import InjectionReport, inject_errors
+from ..relation import Relation
+from ..synth import Guardrail, GuardrailConfig
+
+
+def default_scale() -> int | None:
+    """Row cap for experiments; REPRO_FULL=1 runs the paper's sizes."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return None
+    value = os.environ.get("REPRO_SCALE_ROWS")
+    return int(value) if value else 2400
+
+
+@dataclass
+class ExperimentContext:
+    """Workload configuration shared by all experiment runners."""
+
+    scale_rows: int | None = field(default_factory=default_scale)
+    seed: int = 7
+    epsilon: float = 0.02
+    alpha: float = 0.01
+    error_rate: float = 0.01
+    train_fraction: float = 0.6
+    max_condition_size: int = 2
+    max_dags: int = 256
+    min_support: int = 4
+
+    def guardrail_config(self, **overrides) -> GuardrailConfig:
+        parameters = dict(
+            epsilon=self.epsilon,
+            alpha=self.alpha,
+            max_condition_size=self.max_condition_size,
+            max_dags=self.max_dags,
+            min_support=self.min_support,
+            seed=self.seed,
+        )
+        parameters.update(overrides)
+        return GuardrailConfig(**parameters)
+
+    def rows_for(self, spec: DatasetSpec) -> int:
+        if self.scale_rows is None:
+            return spec.n_rows
+        return min(spec.n_rows, self.scale_rows)
+
+
+@dataclass
+class Prepared:
+    """Per-dataset artifacts shared across experiment runners."""
+
+    dataset: Dataset
+    train_clean: Relation
+    train_injection: InjectionReport
+    test_clean: Relation
+    injection: InjectionReport
+
+    @property
+    def train(self) -> Relation:
+        """The discovery split, with its own injected noise.
+
+        GUARDRAIL's premise is synthesis *from noisy data*; a perfectly
+        clean discovery split would be unrealistically kind to exact
+        methods (TANE/CTANE), so discovery sees the same 1% error
+        process as the test split.
+        """
+        return self.train_injection.relation
+
+    @property
+    def test_dirty(self) -> Relation:
+        return self.injection.relation
+
+    @property
+    def spec(self) -> DatasetSpec:
+        return self.dataset.spec
+
+
+def prepare(
+    dataset_key: "int | str",
+    context: ExperimentContext,
+    constrained_only: bool = False,
+) -> Prepared:
+    """Load, split, and corrupt one dataset per the shared protocol.
+
+    ``constrained_only`` restricts injection to attributes covered by
+    the ground-truth constraints (the non-root SEM nodes) — the RQ2
+    protocol isolating the impact of undetectable errors (§8.2).
+    """
+    spec = get_spec(dataset_key)
+    rng = np.random.default_rng(context.seed + spec.id)
+    dataset = load(spec.id, n_rows=context.rows_for(spec), seed=context.seed)
+    train, test_clean = dataset.relation.split(
+        context.train_fraction, rng
+    )
+    attributes = None
+    if constrained_only:
+        dag = dataset.ground_truth_dag()
+        attributes = [n for n in dag.nodes if dag.parents(n)]
+    injection = inject_errors(
+        test_clean,
+        rate=context.error_rate,
+        rng=rng,
+        attributes=attributes,
+    )
+    train_injection = inject_errors(
+        train,
+        rate=context.error_rate,
+        rng=np.random.default_rng(context.seed + 500 + spec.id),
+    )
+    return Prepared(
+        dataset=dataset,
+        train_clean=train,
+        train_injection=train_injection,
+        test_clean=test_clean,
+        injection=injection,
+    )
+
+
+def fit_guardrail(
+    prepared: Prepared, context: ExperimentContext, **overrides
+) -> Guardrail:
+    """Fit GUARDRAIL on the (noisy) discovery split."""
+    config = context.guardrail_config(**overrides)
+    return Guardrail(config).fit(prepared.train)
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]]
+) -> str:
+    """Plain-text table renderer shared by all benchmark printouts."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        " | ".join(c.ljust(w) for c, w in zip(row, widths))
+        for row in cells
+    )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        return f"{value:.3f}"
+    return str(value)

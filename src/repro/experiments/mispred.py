@@ -1,0 +1,146 @@
+"""Errors vs. mis-predictions (paper Table 1 and Table 5, §5).
+
+Per dataset: train the AutoML model on the clean split, inject errors
+into the test split, and measure
+
+* how many injected errors flip the model's prediction relative to the
+  clean inputs (**error-induced mis-predictions**, Table 1), and
+* how GUARDRAIL-detected errors intersect those flips (Table 5):
+  ``P = |detected ∩ mispredicted| / |detected|`` and
+  ``R = |missed ∩ mispredicted| / |missed|`` (the paper's finding is
+  that missed errors essentially never flip predictions).
+
+Also reports the Spearman rank correlation between per-dataset error
+counts and mis-prediction counts (the paper: ρ = 0.947, p < 0.05).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import SpearmanResult, spearman
+from ..ml import AutoModel, mispredictions_caused_by_errors
+from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, prepare
+
+
+@dataclass
+class MispredRow:
+    dataset_id: int
+    dataset_name: str
+    n_errors: int
+    n_mispredictions: int
+    n_detected: int
+    detected_mispredictions: int
+    missed_errors: int
+    missed_mispredictions: int
+
+    @property
+    def precision_vs_mispred(self) -> float | None:
+        """Table 5's P: flagged rows that are error-induced flips."""
+        if self.n_detected == 0:
+            return None
+        return self.detected_mispredictions / self.n_detected
+
+    @property
+    def missed_rate(self) -> float | None:
+        """Table 5's R: missed error rows that nevertheless flip."""
+        if self.missed_errors == 0:
+            return None
+        return self.missed_mispredictions / self.missed_errors
+
+
+def run_mispred(
+    dataset_key: "int | str",
+    context: ExperimentContext,
+    prepared: Prepared | None = None,
+    constrained_only: bool = False,
+) -> MispredRow:
+    prepared = prepared or prepare(
+        dataset_key, context, constrained_only=constrained_only
+    )
+    target = prepared.dataset.target
+
+    model = AutoModel(seed=context.seed)
+    model.fit(prepared.train, target)
+
+    flips = mispredictions_caused_by_errors(
+        model, prepared.test_clean, prepared.test_dirty
+    )
+    guard = fit_guardrail(prepared, context)
+    detected = guard.check(prepared.test_dirty)
+    truth = prepared.injection.row_mask
+
+    missed = truth & ~detected
+    return MispredRow(
+        dataset_id=prepared.spec.id,
+        dataset_name=prepared.spec.name,
+        n_errors=int(truth.sum()),
+        n_mispredictions=int(flips.sum()),
+        n_detected=int(detected.sum()),
+        detected_mispredictions=int(np.count_nonzero(detected & flips)),
+        missed_errors=int(missed.sum()),
+        missed_mispredictions=int(np.count_nonzero(missed & flips)),
+    )
+
+
+TABLE1_ERROR_RATE = 0.05
+"""Injection rate for the §5 mis-prediction study.
+
+Table 1's Spearman claim needs error counts that *vary* across
+datasets; at the detection protocol's 1%-capped-at-30 rate every scaled
+dataset lands on the cap and the correlation is undefined."""
+
+
+def run_table1(
+    context: ExperimentContext, dataset_ids: list[int] | None = None
+) -> list[MispredRow]:
+    """Table 1 protocol: random injection into any attribute (§5)."""
+    import dataclasses
+
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    table1_context = dataclasses.replace(
+        context, error_rate=TABLE1_ERROR_RATE
+    )
+    return [run_mispred(i, table1_context) for i in ids]
+
+
+def run_table5(
+    context: ExperimentContext, dataset_ids: list[int] | None = None
+) -> list[MispredRow]:
+    """Table 5 protocol: constraint-covered injection only (§8.2)."""
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    return [
+        run_mispred(i, context, constrained_only=True) for i in ids
+    ]
+
+
+def error_mispred_correlation(rows: list[MispredRow]) -> SpearmanResult:
+    return spearman(
+        [r.n_errors for r in rows],
+        [r.n_mispredictions for r in rows],
+    )
+
+
+def format_table1(rows: list[MispredRow]) -> str:
+    headers = ["Dataset ID"] + [str(r.dataset_id) for r in rows]
+    body = [
+        ["# Errors"] + [r.n_errors for r in rows],
+        ["# Mis-pred"] + [r.n_mispredictions for r in rows],
+    ]
+    return format_table(headers, body)
+
+
+def format_table5(rows: list[MispredRow]) -> str:
+    headers = ["ID"] + [str(r.dataset_id) for r in rows]
+    body = [
+        ["#Mis-pred."] + [r.n_mispredictions for r in rows],
+        ["P"] + [r.precision_vs_mispred for r in rows],
+        ["R"] + [r.missed_rate for r in rows],
+    ]
+    return format_table(headers, body)

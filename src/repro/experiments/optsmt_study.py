@@ -1,0 +1,125 @@
+"""OptSMT baseline blow-up study (paper §8.3).
+
+Two measurements reproduce the paper's finding that monolithic
+optimizing synthesis does not scale:
+
+* the soft-clause count of the full encoding per dataset ("tens of
+  millions of clauses"), computed in closed form; and
+* actual branch-and-bound solves on progressively wider attribute
+  subsets of the smallest dataset with a strict time budget — the
+  solver starts timing out within a handful of attributes while
+  GUARDRAIL's MEC pipeline finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synth import OptSmtSynthesizer, estimate_clause_count, synthesize
+from .harness import ExperimentContext, Prepared, format_table, prepare
+
+
+@dataclass
+class ClauseRow:
+    dataset_id: int
+    n_attributes: int
+    n_clauses: int
+
+
+@dataclass
+class SolveRow:
+    n_attributes: int
+    optsmt_seconds: float
+    optsmt_timed_out: bool
+    optsmt_coverage: float
+    guardrail_seconds: float
+    guardrail_coverage: float
+
+
+def clause_counts(
+    context: ExperimentContext, dataset_ids: list[int] | None = None
+) -> list[ClauseRow]:
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    rows = []
+    for dataset_id in ids:
+        prepared = prepare(dataset_id, context)
+        rows.append(
+            ClauseRow(
+                dataset_id=prepared.spec.id,
+                n_attributes=prepared.spec.n_attributes,
+                n_clauses=estimate_clause_count(
+                    prepared.train, max_determinants=2
+                ),
+            )
+        )
+    return rows
+
+
+def scaling_study(
+    context: ExperimentContext,
+    dataset_key: "int | str" = 6,  # Blood Transfusion, the 4-attr dataset
+    widths: tuple[int, ...] = (3, 4, 5, 6),
+    time_limit: float = 2.0,
+    prepared: Prepared | None = None,
+) -> list[SolveRow]:
+    """Solve attribute-prefix subsets with both approaches."""
+    import time
+
+    prepared = prepared or prepare(dataset_key, context)
+    source = prepared.train
+    rows = []
+    names = list(source.schema.categorical_names())
+    for width in widths:
+        subset_names = names[: min(width, len(names))]
+        subset = source.project(subset_names)
+        solver = OptSmtSynthesizer(
+            epsilon=context.epsilon,
+            max_determinants=2,
+            time_limit=time_limit,
+            min_support=context.min_support,
+        )
+        outcome = solver.solve(subset)
+        started = time.perf_counter()
+        guardrail_result = synthesize(
+            subset, context.guardrail_config()
+        )
+        guardrail_seconds = time.perf_counter() - started
+        rows.append(
+            SolveRow(
+                n_attributes=len(subset_names),
+                optsmt_seconds=outcome.elapsed,
+                optsmt_timed_out=outcome.timed_out,
+                optsmt_coverage=outcome.coverage,
+                guardrail_seconds=guardrail_seconds,
+                guardrail_coverage=guardrail_result.coverage,
+            )
+        )
+        if len(subset_names) < width:
+            break
+    return rows
+
+
+def format_clauses(rows: list[ClauseRow]) -> str:
+    headers = ["Dataset", "# Attr.", "# soft clauses (OptSMT encoding)"]
+    body = [
+        [r.dataset_id, r.n_attributes, f"{r.n_clauses:,}"] for r in rows
+    ]
+    return format_table(headers, body)
+
+
+def format_scaling(rows: list[SolveRow]) -> str:
+    headers = [
+        "# Attr.", "OptSMT s", "timeout", "OptSMT cov",
+        "Guardrail s", "Guardrail cov",
+    ]
+    body = [
+        [
+            r.n_attributes, r.optsmt_seconds,
+            "yes" if r.optsmt_timed_out else "no",
+            r.optsmt_coverage, r.guardrail_seconds, r.guardrail_coverage,
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body)

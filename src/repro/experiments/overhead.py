@@ -1,0 +1,75 @@
+"""Runtime overhead of the guard at query time (paper Table 6).
+
+Per dataset: execute an ML-integrated query with GUARDRAIL attached and
+report the time spent in the guard stage (constraint checking +
+rectification) next to the model inference time.  The paper's shape:
+guard time is dominated by rows × program complexity and is comparable
+to or smaller than inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets import queries_for
+from ..ml import AutoModel
+from ..sql import QueryExecutor
+from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, prepare
+
+
+@dataclass
+class OverheadRow:
+    dataset_id: int
+    dataset_name: str
+    guardrail_seconds: float
+    inference_seconds: float
+    rows_checked: int
+    rows_rectified: int
+
+
+def run_overhead(
+    dataset_key: "int | str",
+    context: ExperimentContext,
+    prepared: Prepared | None = None,
+) -> OverheadRow:
+    prepared = prepared or prepare(dataset_key, context)
+    target = prepared.dataset.target
+    model = AutoModel(seed=context.seed).fit(prepared.train, target)
+    guard = fit_guardrail(prepared, context)
+    executor = QueryExecutor(
+        {"t": prepared.test_dirty},
+        {"m": model},
+        guardrail=guard,
+        strategy="rectify",
+    )
+    query = queries_for(prepared.dataset)[0]
+    executor.execute(query.sql)
+    metrics = executor.last_metrics
+    return OverheadRow(
+        dataset_id=prepared.spec.id,
+        dataset_name=prepared.spec.name,
+        guardrail_seconds=metrics.guard_seconds,
+        inference_seconds=metrics.inference_seconds,
+        rows_checked=metrics.rows_scanned,
+        rows_rectified=metrics.rows_rectified,
+    )
+
+
+def run_table6(
+    context: ExperimentContext, dataset_ids: list[int] | None = None
+) -> list[OverheadRow]:
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    return [run_overhead(i, context) for i in ids]
+
+
+def format_table6(rows: list[OverheadRow]) -> str:
+    headers = ["Dataset ID"] + [str(r.dataset_id) for r in rows]
+    body = [
+        ["Guardrail Time"]
+        + [round(r.guardrail_seconds, 4) for r in rows],
+        ["Inference Time"]
+        + [round(r.inference_seconds, 4) for r in rows],
+    ]
+    return format_table(headers, body)

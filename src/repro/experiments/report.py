@@ -1,0 +1,157 @@
+"""Live evaluation report: run experiments and emit Markdown.
+
+``generate_report`` reruns a chosen set of the paper's artifacts at the
+current workload scale and renders one self-contained Markdown document
+— the "fresh numbers" companion to the curated EXPERIMENTS.md.  Used by
+the ``python -m repro experiment`` CLI command.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .ablation import format_table8, run_table8
+from .detection import format_table3, run_table3, wins
+from .epsilon import format_figure7, run_figure7
+from .harness import ExperimentContext
+from .mispred import (
+    error_mispred_correlation,
+    format_table1,
+    format_table5,
+    run_table1,
+    run_table5,
+)
+from .optsmt_study import clause_counts, format_clauses
+from .overhead import format_table6, run_table6
+from .queries import average_reduction, format_figure6, run_figure6
+from .searchspace import format_table7, run_table7
+from .timing import format_table4, run_table4
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One runnable evaluation artifact."""
+
+    key: str
+    title: str
+    runner: Callable[[ExperimentContext], str]
+
+
+def _table1(context: ExperimentContext) -> str:
+    rows = run_table1(context)
+    correlation = error_mispred_correlation(rows)
+    return format_table1(rows) + (
+        f"\n\nSpearman rho = {correlation.coefficient:.3f} "
+        f"(p = {correlation.p_value:.3g}); paper: 0.947"
+    )
+
+
+def _table3(context: ExperimentContext) -> str:
+    rows = run_table3(context)
+    return format_table3(rows) + (
+        f"\n\nGUARDRAIL first in {wins(rows)} / 24 (paper: 17 / 24)"
+    )
+
+
+def _table4(context: ExperimentContext) -> str:
+    return format_table4(run_table4(context))
+
+
+def _table5(context: ExperimentContext) -> str:
+    return format_table5(run_table5(context))
+
+
+def _table6(context: ExperimentContext) -> str:
+    return format_table6(run_table6(context))
+
+
+def _table7(context: ExperimentContext) -> str:
+    return format_table7(run_table7(context))
+
+
+def _table8(context: ExperimentContext) -> str:
+    rows = run_table8(context)
+    n_wins = sum(r.auxiliary_wins for r in rows)
+    return format_table8(rows) + (
+        f"\n\nauxiliary wins or ties on {n_wins} / 12 datasets"
+    )
+
+
+def _figure6(context: ExperimentContext) -> str:
+    rows = run_figure6(context)
+    mean, std = average_reduction(rows)
+    return format_figure6(rows) + (
+        f"\n\naverage reduction {mean:.2f} +- {std:.2f} "
+        "(paper: 0.87 +- 0.25)"
+    )
+
+
+def _figure7(context: ExperimentContext) -> str:
+    return format_figure7(
+        run_figure7(context, dataset_ids=[1, 2, 4, 6, 9, 12])
+    )
+
+
+def _optsmt(context: ExperimentContext) -> str:
+    return format_clauses(clause_counts(context))
+
+
+ARTIFACTS: tuple[Artifact, ...] = (
+    Artifact("table1", "Table 1 — errors vs. mis-predictions", _table1),
+    Artifact("table3", "Table 3 — error detection (F1/MCC)", _table3),
+    Artifact("table4", "Table 4 — offline synthesis time", _table4),
+    Artifact("table5", "Table 5 — mis-prediction detection P/R", _table5),
+    Artifact("table6", "Table 6 — query-time overhead", _table6),
+    Artifact("table7", "Table 7 — search space w/ and w/o MEC", _table7),
+    Artifact("table8", "Table 8 — auxiliary sampler ablation", _table8),
+    Artifact("fig6", "Figure 6 — query rectification", _figure6),
+    Artifact("fig7", "Figure 7 — epsilon sweep", _figure7),
+    Artifact("optsmt", "§8.3 — OptSMT clause explosion", _optsmt),
+)
+
+
+def artifact_keys() -> list[str]:
+    return [a.key for a in ARTIFACTS]
+
+
+def run_artifact(key: str, context: ExperimentContext) -> str:
+    """Run one artifact by key and return its rendered body."""
+    for artifact in ARTIFACTS:
+        if artifact.key == key:
+            return artifact.runner(context)
+    raise KeyError(
+        f"unknown artifact {key!r}; choose from {artifact_keys()}"
+    )
+
+
+def generate_report(
+    context: ExperimentContext | None = None,
+    keys: list[str] | None = None,
+) -> str:
+    """Run the selected artifacts and render a Markdown report."""
+    context = context or ExperimentContext()
+    selected = keys or artifact_keys()
+    scale = context.scale_rows or "full (Table 2 sizes)"
+    sections = [
+        "# GUARDRAIL evaluation report (live run)",
+        "",
+        f"- workload scale: {scale} rows per dataset",
+        f"- epsilon = {context.epsilon}, alpha = {context.alpha}, "
+        f"error rate = {context.error_rate}",
+        "",
+    ]
+    for key in selected:
+        artifact = next(a for a in ARTIFACTS if a.key == key)
+        started = time.perf_counter()
+        body = artifact.runner(context)
+        elapsed = time.perf_counter() - started
+        sections.append(f"## {artifact.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(body)
+        sections.append("```")
+        sections.append(f"*(generated in {elapsed:.1f}s)*")
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,75 @@
+"""Offline synthesis time (paper Table 4) and phase breakdown.
+
+The paper reports total offline synthesis time per dataset (600–1400 s
+on a 32-core Threadripper).  Here we report our own wall-clock per
+phase; the *shape* to reproduce is that time grows with attribute count
+and with the number of DAGs in the MEC, moderated by the statement-level
+fill cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synth import synthesize
+from .harness import ExperimentContext, Prepared, format_table, prepare
+
+
+@dataclass
+class TimingRow:
+    dataset_id: int
+    dataset_name: str
+    n_attributes: int
+    n_rows: int
+    total_seconds: float
+    sampling_seconds: float
+    structure_seconds: float
+    fill_seconds: float
+    n_dags: int
+    cache_hits: int
+
+
+def run_timing(
+    dataset_key: "int | str",
+    context: ExperimentContext,
+    prepared: Prepared | None = None,
+) -> TimingRow:
+    prepared = prepared or prepare(dataset_key, context)
+    result = synthesize(prepared.train, context.guardrail_config())
+    return TimingRow(
+        dataset_id=prepared.spec.id,
+        dataset_name=prepared.spec.name,
+        n_attributes=prepared.spec.n_attributes,
+        n_rows=prepared.train.n_rows,
+        total_seconds=result.total_time,
+        sampling_seconds=result.timings.get("sampling", 0.0),
+        structure_seconds=result.timings.get("structure_learning", 0.0),
+        fill_seconds=result.timings.get("enumeration_and_fill", 0.0),
+        n_dags=result.n_dags_enumerated,
+        cache_hits=result.fill_stats.cache_hits,
+    )
+
+
+def run_table4(
+    context: ExperimentContext, dataset_ids: list[int] | None = None
+) -> list[TimingRow]:
+    from ..datasets import DATASETS
+
+    ids = dataset_ids or [s.id for s in DATASETS]
+    return [run_timing(i, context) for i in ids]
+
+
+def format_table4(rows: list[TimingRow]) -> str:
+    headers = [
+        "Dataset ID", "# Attr.", "Total Time (s)", "sampling",
+        "structure", "enum+fill", "# DAGs", "cache hits",
+    ]
+    body = [
+        [
+            r.dataset_id, r.n_attributes, r.total_seconds,
+            r.sampling_seconds, r.structure_seconds, r.fill_seconds,
+            r.n_dags, r.cache_hits,
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,33 @@
+"""Evaluation metrics: classification scores and correlations."""
+
+from .classification import (
+    ConfusionCounts,
+    confusion,
+    f1_from_masks,
+    f1_score,
+    mcc_from_masks,
+    mcc_score,
+    precision,
+    recall,
+)
+from .correlation import (
+    SpearmanResult,
+    min_max_normalize,
+    relative_error,
+    spearman,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "confusion",
+    "precision",
+    "recall",
+    "f1_score",
+    "mcc_score",
+    "f1_from_masks",
+    "mcc_from_masks",
+    "SpearmanResult",
+    "spearman",
+    "relative_error",
+    "min_max_normalize",
+]

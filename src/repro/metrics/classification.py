@@ -1,0 +1,77 @@
+"""Binary classification metrics used by the evaluation (§8.1).
+
+F1 and MCC score error detectors against injected ground truth.  Both
+follow the paper's conventions: undefined values (zero denominators)
+are reported as NaN, which is how Table 3 renders degenerate baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+
+def confusion(predicted: np.ndarray, actual: np.ndarray) -> ConfusionCounts:
+    """Counts from boolean prediction/ground-truth masks."""
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError("prediction and ground truth shapes differ")
+    tp = int(np.count_nonzero(predicted & actual))
+    fp = int(np.count_nonzero(predicted & ~actual))
+    fn = int(np.count_nonzero(~predicted & actual))
+    tn = int(np.count_nonzero(~predicted & ~actual))
+    return ConfusionCounts(tp, fp, fn, tn)
+
+
+def precision(counts: ConfusionCounts) -> float:
+    denominator = counts.tp + counts.fp
+    return counts.tp / denominator if denominator else float("nan")
+
+
+def recall(counts: ConfusionCounts) -> float:
+    denominator = counts.tp + counts.fn
+    return counts.tp / denominator if denominator else float("nan")
+
+
+def f1_score(counts: ConfusionCounts) -> float:
+    """Harmonic mean of precision and recall; NaN when undefined."""
+    denominator = 2 * counts.tp + counts.fp + counts.fn
+    if denominator == 0:
+        return float("nan")
+    return 2 * counts.tp / denominator
+
+
+def mcc_score(counts: ConfusionCounts) -> float:
+    """Matthews correlation coefficient; NaN when any margin is empty."""
+    tp, fp, fn, tn = counts.tp, counts.fp, counts.fn, counts.tn
+    denominator = math.sqrt(
+        float(tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)
+    )
+    if denominator == 0.0:
+        return float("nan")
+    return (tp * tn - fp * fn) / denominator
+
+
+def f1_from_masks(predicted: np.ndarray, actual: np.ndarray) -> float:
+    return f1_score(confusion(predicted, actual))
+
+
+def mcc_from_masks(predicted: np.ndarray, actual: np.ndarray) -> float:
+    return mcc_score(confusion(predicted, actual))

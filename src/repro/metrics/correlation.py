@@ -1,0 +1,89 @@
+"""Rank correlation and error-normalization helpers (§5, §8.2).
+
+* Spearman's rank correlation (own implementation; scipy is used only
+  for the t-distribution of the significance test) — Table 1's claim
+  that injected-error counts track mis-prediction counts.
+* Relative error and min–max normalization — Figure 6 compares queries
+  with different value scales by normalizing the L1 error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class SpearmanResult:
+    coefficient: float
+    p_value: float
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks with tie handling."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ranks over ties.
+    unique, inverse, counts = np.unique(
+        values, return_inverse=True, return_counts=True
+    )
+    sums = np.zeros(len(unique))
+    np.add.at(sums, inverse, ranks)
+    return sums[inverse] / counts[inverse]
+
+
+def spearman(
+    x: Sequence[float], y: Sequence[float]
+) -> SpearmanResult:
+    """Spearman's rho with a t-test p-value."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("inputs must have equal length")
+    n = len(x_arr)
+    if n < 3:
+        raise ValueError("need at least 3 observations")
+    rx, ry = _ranks(x_arr), _ranks(y_arr)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denominator = np.sqrt((rx**2).sum() * (ry**2).sum())
+    if denominator == 0:
+        return SpearmanResult(float("nan"), float("nan"))
+    rho = float((rx * ry).sum() / denominator)
+    if abs(rho) >= 1.0:
+        return SpearmanResult(rho, 0.0)
+    t = rho * np.sqrt((n - 2) / (1 - rho**2))
+    p = float(2 * stats.t.sf(abs(t), df=n - 2))
+    return SpearmanResult(rho, p)
+
+
+def relative_error(
+    observed: Sequence[float], truth: Sequence[float]
+) -> float:
+    """L1 distance normalized by the L1 norm of the ground truth.
+
+    A zero-norm ground truth yields 0.0 when the observation matches and
+    infinity otherwise.
+    """
+    observed_arr = np.asarray(observed, dtype=np.float64)
+    truth_arr = np.asarray(truth, dtype=np.float64)
+    if observed_arr.shape != truth_arr.shape:
+        raise ValueError("shapes differ")
+    absolute = float(np.abs(observed_arr - truth_arr).sum())
+    norm = float(np.abs(truth_arr).sum())
+    if norm == 0.0:
+        return 0.0 if absolute == 0.0 else float("inf")
+    return absolute / norm
+
+
+def min_max_normalize(values: Sequence[float]) -> list[float]:
+    """Scale values to [0, 1]; a constant vector maps to all zeros."""
+    arr = np.asarray(values, dtype=np.float64)
+    low, high = float(arr.min()), float(arr.max())
+    if high == low:
+        return [0.0] * len(arr)
+    return [float((v - low) / (high - low)) for v in arr]

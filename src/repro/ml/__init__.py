@@ -1,0 +1,29 @@
+"""ML substrate: classifiers, AutoML ensemble, training harness."""
+
+from .decision_tree import DecisionTree
+from .ensemble import AutoModel
+from .logistic import LogisticRegression
+from .majority import MajorityClass
+from .model import UNSEEN, Classifier, ModelError
+from .naive_bayes import NaiveBayes
+from .train import (
+    TrainedModel,
+    misprediction_mask,
+    mispredictions_caused_by_errors,
+    train_model,
+)
+
+__all__ = [
+    "UNSEEN",
+    "Classifier",
+    "ModelError",
+    "NaiveBayes",
+    "DecisionTree",
+    "LogisticRegression",
+    "MajorityClass",
+    "AutoModel",
+    "TrainedModel",
+    "train_model",
+    "misprediction_mask",
+    "mispredictions_caused_by_errors",
+]

@@ -1,0 +1,27 @@
+"""Majority-class baseline classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import Classifier
+
+
+class MajorityClass(Classifier):
+    """Always predict the most frequent training label.
+
+    The sanity floor every real model must beat; also the fallback
+    member of the AutoML ensemble when data is degenerate.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._prediction = 0
+
+    def _fit_codes(self, matrix: np.ndarray, labels: np.ndarray) -> None:
+        if labels.size:
+            counts = np.bincount(labels, minlength=self.n_classes)
+            self._prediction = int(np.argmax(counts))
+
+    def _predict_codes(self, matrix: np.ndarray) -> np.ndarray:
+        return np.full(matrix.shape[0], self._prediction, dtype=np.int32)

@@ -1,0 +1,52 @@
+"""Probabilistic graphical model substrate.
+
+DAGs, d-separation, CPDAGs with Meek's rules, Markov equivalence class
+enumeration, DAG counting, conditional independence tests, the PC
+structure-learning algorithm, and discrete structural equation models.
+"""
+
+from .counting import count_dags, count_dags_scientific
+from .dag import DAG, Edge, GraphError
+from .independence import CIResult, CITester, IndependenceError
+from .mec import (
+    enumerate_mec,
+    enumerate_mec_brute_force,
+    mec_of,
+    mec_size,
+    mec_size_factorized,
+    undirected_components,
+)
+from .pc import OracleCITester, PCResult, learn_cpdag
+from .pdag import PDAG, OrientationConflict, cpdag_from_dag
+from .scoring import BicScorer, HillClimbResult, hill_climb
+from .sem import DiscreteSEM, NodeModel, random_sem, sem_to_program
+
+__all__ = [
+    "DAG",
+    "Edge",
+    "GraphError",
+    "PDAG",
+    "OrientationConflict",
+    "cpdag_from_dag",
+    "enumerate_mec",
+    "enumerate_mec_brute_force",
+    "mec_of",
+    "mec_size",
+    "mec_size_factorized",
+    "undirected_components",
+    "count_dags",
+    "count_dags_scientific",
+    "CIResult",
+    "CITester",
+    "IndependenceError",
+    "OracleCITester",
+    "PCResult",
+    "learn_cpdag",
+    "BicScorer",
+    "HillClimbResult",
+    "hill_climb",
+    "DiscreteSEM",
+    "NodeModel",
+    "random_sem",
+    "sem_to_program",
+]

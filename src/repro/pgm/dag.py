@@ -1,0 +1,262 @@
+"""Directed acyclic graphs over named attributes (paper §4.2).
+
+A :class:`DAG` represents the structure of a structural equation model:
+nodes are dataset attributes and each directed edge ``u -> v`` says that
+``u`` participates in generating ``v``.  Includes topological ordering,
+ancestor/descendant queries, and d-separation (the reachability algorithm
+of Koller & Friedman, Alg. 3.1), which underpins the faithfulness-based
+proofs in the paper and our property tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class GraphError(ValueError):
+    """Raised for cyclic inputs or unknown nodes."""
+
+
+Edge = tuple[str, str]
+
+
+class DAG:
+    """An immutable directed acyclic graph.
+
+    Parameters
+    ----------
+    nodes:
+        All node names (isolated nodes allowed).
+    edges:
+        Directed edges as ``(parent, child)`` pairs.
+    """
+
+    __slots__ = ("_nodes", "_parents", "_children", "_order")
+
+    def __init__(self, nodes: Iterable[str], edges: Iterable[Edge] = ()):
+        node_tuple = tuple(dict.fromkeys(nodes))
+        node_set = set(node_tuple)
+        parents: dict[str, set[str]] = {n: set() for n in node_tuple}
+        children: dict[str, set[str]] = {n: set() for n in node_tuple}
+        for parent, child in edges:
+            if parent not in node_set or child not in node_set:
+                raise GraphError(f"edge ({parent!r}, {child!r}) uses unknown node")
+            if parent == child:
+                raise GraphError(f"self-loop on {parent!r}")
+            parents[child].add(parent)
+            children[parent].add(child)
+        self._nodes = node_tuple
+        self._parents = {n: frozenset(p) for n, p in parents.items()}
+        self._children = {n: frozenset(c) for n, c in children.items()}
+        self._order = self._topological_sort()
+
+    def _topological_sort(self) -> tuple[str, ...]:
+        in_degree = {n: len(self._parents[n]) for n in self._nodes}
+        queue = deque(n for n in self._nodes if in_degree[n] == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in sorted(self._children[node]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._nodes):
+            raise GraphError("graph contains a directed cycle")
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self._nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def edges(self) -> list[Edge]:
+        return [
+            (parent, child)
+            for child in self._nodes
+            for parent in sorted(self._parents[child])
+        ]
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(self._parents[n]) for n in self._nodes)
+
+    def parents(self, node: str) -> frozenset[str]:
+        try:
+            return self._parents[node]
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def children(self, node: str) -> frozenset[str]:
+        try:
+            return self._children[node]
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        return parent in self._parents.get(child, frozenset())
+
+    def adjacent(self, u: str, v: str) -> bool:
+        return self.has_edge(u, v) or self.has_edge(v, u)
+
+    def neighbors(self, node: str) -> frozenset[str]:
+        return self.parents(node) | self.children(node)
+
+    def topological_order(self) -> tuple[str, ...]:
+        return self._order
+
+    def ancestors(self, node: str) -> frozenset[str]:
+        """All strict ancestors of ``node``."""
+        seen: set[str] = set()
+        frontier = list(self.parents(node))
+        while frontier:
+            current = frontier.pop()
+            if current not in seen:
+                seen.add(current)
+                frontier.extend(self._parents[current])
+        return frozenset(seen)
+
+    def descendants(self, node: str) -> frozenset[str]:
+        """All strict descendants of ``node``."""
+        seen: set[str] = set()
+        frontier = list(self.children(node))
+        while frontier:
+            current = frontier.pop()
+            if current not in seen:
+                seen.add(current)
+                frontier.extend(self._children[current])
+        return frozenset(seen)
+
+    # ------------------------------------------------------------------
+    # d-separation
+    # ------------------------------------------------------------------
+
+    def d_separated(
+        self, x: str, y: str, given: Iterable[str] = ()
+    ) -> bool:
+        """Is ``x`` d-separated from ``y`` given the conditioning set?
+
+        Uses the standard reachability ("Bayes ball") algorithm: a node is
+        d-connected to ``x`` if an active trail reaches it.  ``x`` and
+        ``y`` must not be in the conditioning set.
+        """
+        z = frozenset(given)
+        if x in z or y in z:
+            raise GraphError("endpoints cannot be in the conditioning set")
+        return y not in self._reachable(x, z)
+
+    def _reachable(self, source: str, z: frozenset[str]) -> set[str]:
+        # Phase 1: ancestors of Z (needed to activate colliders).
+        z_ancestors = set(z)
+        frontier = list(z)
+        while frontier:
+            node = frontier.pop()
+            for parent in self._parents[node]:
+                if parent not in z_ancestors:
+                    z_ancestors.add(parent)
+                    frontier.append(parent)
+
+        # Phase 2: traverse active trails.  State: (node, direction),
+        # direction 'up' = trail arrived via an edge out of node (from a
+        # child), 'down' = trail arrived via an edge into node.
+        visited: set[tuple[str, str]] = set()
+        reachable: set[str] = set()
+        queue: deque[tuple[str, str]] = deque([(source, "up")])
+        while queue:
+            node, direction = queue.popleft()
+            if (node, direction) in visited:
+                continue
+            visited.add((node, direction))
+            if node not in z and node != source:
+                reachable.add(node)
+            if direction == "up" and node not in z:
+                for parent in self._parents[node]:
+                    queue.append((parent, "up"))
+                for child in self._children[node]:
+                    queue.append((child, "down"))
+            elif direction == "down":
+                if node not in z:
+                    for child in self._children[node]:
+                        queue.append((child, "down"))
+                if node in z_ancestors:
+                    for parent in self._parents[node]:
+                        queue.append((parent, "up"))
+        return reachable
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+
+    def v_structures(self) -> set[tuple[str, str, str]]:
+        """Unshielded colliders as ``(a, c, b)`` with ``a -> c <- b``.
+
+        Endpoints are normalized so ``a < b`` lexicographically.
+        """
+        out: set[tuple[str, str, str]] = set()
+        for collider in self._nodes:
+            parent_list = sorted(self._parents[collider])
+            for i, a in enumerate(parent_list):
+                for b in parent_list[i + 1 :]:
+                    if not self.adjacent(a, b):
+                        out.add((a, collider, b))
+        return out
+
+    def skeleton(self) -> set[frozenset[str]]:
+        """The undirected edge set."""
+        return {frozenset((p, c)) for p, c in self.edges()}
+
+    def markov_equivalent(self, other: "DAG") -> bool:
+        """Verma–Pearl criterion: same skeleton and same v-structures."""
+        return (
+            self.skeleton() == other.skeleton()
+            and self.v_structures() == other.v_structures()
+        )
+
+    def parent_map(self) -> dict[str, frozenset[str]]:
+        return dict(self._parents)
+
+    @classmethod
+    def from_parent_map(
+        cls, parent_map: Mapping[str, Sequence[str]]
+    ) -> "DAG":
+        """Build from ``{child: [parents...]}``; keys define the node set."""
+        nodes = list(parent_map.keys())
+        extra = [
+            p for ps in parent_map.values() for p in ps if p not in parent_map
+        ]
+        edges = [
+            (parent, child)
+            for child, parents in parent_map.items()
+            for parent in parents
+        ]
+        return cls(nodes + extra, edges)
+
+    def relabel(self, mapping: Mapping[str, str]) -> "DAG":
+        """Rename nodes; identity for names not in ``mapping``."""
+        rename = lambda n: mapping.get(n, n)  # noqa: E731
+        return DAG(
+            (rename(n) for n in self._nodes),
+            ((rename(p), rename(c)) for p, c in self.edges()),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAG):
+            return NotImplemented
+        return set(self._nodes) == set(other._nodes) and set(
+            self.edges()
+        ) == set(other.edges())
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._nodes), frozenset(self.edges())))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"DAG({len(self._nodes)} nodes, {self.n_edges} edges)"

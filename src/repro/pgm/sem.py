@@ -1,0 +1,293 @@
+"""Discrete structural equation models (paper Def. 4.3).
+
+A :class:`DiscreteSEM` couples a DAG with one conditional probability
+table per node.  GUARDRAIL's target class is *discrete, deterministic*
+DGPs, so the builders here generate mostly-deterministic tables: each
+parent configuration maps to a single child value, with an optional
+exogenous-noise probability of drawing a different value (the ``U``
+variables of the SEM definition).
+
+Sampling follows the topological order and produces a
+:class:`~repro.relation.Relation` with human-readable categorical values
+(``"<attr>=<k>"``), plus access to the ground-truth deterministic
+mapping — which is what the synthesized DSL program should recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..relation import Codec, Relation, Schema
+from .dag import DAG, GraphError
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """The generating mechanism of one attribute.
+
+    ``table`` maps each parent-code tuple to a distribution over the
+    node's ``cardinality`` values.  A deterministic mechanism puts all
+    mass on one value per row.
+    """
+
+    name: str
+    parents: tuple[str, ...]
+    cardinality: int
+    table: Mapping[tuple[int, ...], np.ndarray]
+
+    def distribution(self, parent_codes: tuple[int, ...]) -> np.ndarray:
+        try:
+            return np.asarray(self.table[parent_codes], dtype=np.float64)
+        except KeyError:
+            raise GraphError(
+                f"no CPT row for {self.name!r} with parents {parent_codes}"
+            ) from None
+
+    def modal_value(self, parent_codes: tuple[int, ...]) -> int:
+        """The most likely child code — the deterministic 'core' of f_X."""
+        return int(np.argmax(self.distribution(parent_codes)))
+
+    def is_deterministic(self, tolerance: float = 1e-9) -> bool:
+        return all(
+            np.max(dist) >= 1.0 - tolerance for dist in self.table.values()
+        )
+
+
+class DiscreteSEM:
+    """A discrete SEM: a DAG plus per-node conditional tables."""
+
+    def __init__(self, dag: DAG, models: Mapping[str, NodeModel]):
+        for node in dag.nodes:
+            if node not in models:
+                raise GraphError(f"missing node model for {node!r}")
+            model = models[node]
+            if set(model.parents) != set(dag.parents(node)):
+                raise GraphError(
+                    f"model parents for {node!r} disagree with the DAG"
+                )
+        self._dag = dag
+        self._models = dict(models)
+
+    @property
+    def dag(self) -> DAG:
+        return self._dag
+
+    def model(self, node: str) -> NodeModel:
+        return self._models[node]
+
+    def cardinality(self, node: str) -> int:
+        return self._models[node].cardinality
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_codes(
+        self, n_rows: int, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Draw ``n_rows`` joint samples as integer code arrays."""
+        samples: dict[str, np.ndarray] = {}
+        for node in self._dag.topological_order():
+            model = self._models[node]
+            if not model.parents:
+                dist = model.distribution(())
+                samples[node] = rng.choice(
+                    model.cardinality, size=n_rows, p=dist
+                ).astype(np.int32)
+                continue
+            parent_matrix = np.column_stack(
+                [samples[p] for p in model.parents]
+            )
+            out = np.empty(n_rows, dtype=np.int32)
+            # Group rows by parent configuration and draw per group.
+            order = np.lexsort(parent_matrix.T[::-1])
+            ordered = parent_matrix[order]
+            changes = np.any(np.diff(ordered, axis=0) != 0, axis=1)
+            bounds = np.concatenate(
+                [[0], np.nonzero(changes)[0] + 1, [n_rows]]
+            )
+            for start, stop in zip(bounds[:-1], bounds[1:]):
+                config = tuple(int(c) for c in ordered[start])
+                dist = model.distribution(config)
+                draws = rng.choice(
+                    model.cardinality, size=stop - start, p=dist
+                )
+                out[order[start:stop]] = draws
+            samples[node] = out
+        return samples
+
+    def sample(self, n_rows: int, rng: np.random.Generator) -> Relation:
+        """Sample a relation with decoded values ``"<attr>=<k>"``."""
+        codes = self.sample_codes(n_rows, rng)
+        schema = Schema.categorical(self._dag.nodes)
+        codecs = {
+            node: Codec(
+                [f"{node}={k}" for k in range(self._models[node].cardinality)]
+            )
+            for node in self._dag.nodes
+        }
+        columns = {node: codes[node] for node in self._dag.nodes}
+        return Relation.from_codes(columns, codecs, schema=schema)
+
+    # ------------------------------------------------------------------
+    # Ground truth extraction
+    # ------------------------------------------------------------------
+
+    def ground_truth_parent_map(self) -> dict[str, frozenset[str]]:
+        """``{attribute: parent set}`` — the target of sketch learning."""
+        return {n: self._dag.parents(n) for n in self._dag.nodes}
+
+
+def _deterministic_table(
+    parents_cards: Sequence[int],
+    cardinality: int,
+    mapping: Callable[[tuple[int, ...]], int],
+    noise: float,
+    rng: np.random.Generator,
+) -> dict[tuple[int, ...], np.ndarray]:
+    """Build a CPT realizing ``mapping`` with exogenous noise mass."""
+    table: dict[tuple[int, ...], np.ndarray] = {}
+    for config in _configurations(parents_cards):
+        target = mapping(config) % cardinality
+        dist = np.full(cardinality, 0.0)
+        if cardinality == 1:
+            dist[0] = 1.0
+        elif noise <= 0.0:
+            dist[target] = 1.0
+        else:
+            dist[:] = noise / (cardinality - 1)
+            dist[target] = 1.0 - noise
+        table[config] = dist
+    return table
+
+
+def _configurations(cards: Sequence[int]):
+    if not cards:
+        yield ()
+        return
+    head, *tail = cards
+    for value in range(head):
+        for rest in _configurations(tail):
+            yield (value, *rest)
+
+
+def random_sem(
+    dag: DAG,
+    cardinalities: Mapping[str, int] | int = 3,
+    determinism: float = 1.0,
+    unconstrained_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> DiscreteSEM:
+    """Build a SEM over ``dag`` with random (mostly) deterministic tables.
+
+    Parameters
+    ----------
+    cardinalities:
+        Per-node cardinality, or a single int used for all nodes.
+    determinism:
+        Probability mass assigned to the modal value of each CPT row;
+        1.0 yields fully deterministic mechanisms (the paper's target
+        class), lower values model stochastic exogenous influence.
+    unconstrained_fraction:
+        Probability that a parent configuration is *unconstrained* —
+        the child is drawn from a broad distribution rather than a
+        deterministic function.  This is the regime the DSL handles and
+        FDs cannot (§2.2 "some conditional branches being
+        unconstrained"): a branch simply does not exist there, whereas
+        an FD must cover every configuration or vanish.
+    """
+    rng = rng or np.random.default_rng(0)
+    if isinstance(cardinalities, int):
+        cards = {n: cardinalities for n in dag.nodes}
+    else:
+        cards = dict(cardinalities)
+    models: dict[str, NodeModel] = {}
+    for node in dag.nodes:
+        parents = tuple(sorted(dag.parents(node)))
+        parents_cards = [cards[p] for p in parents]
+        cardinality = cards[node]
+        if parents:
+            # A random surjective-ish deterministic function of parents.
+            assignment = {
+                config: int(rng.integers(cardinality))
+                for config in _configurations(parents_cards)
+            }
+            # Guarantee the child actually depends on its parents: force
+            # at least two distinct outputs when possible.
+            if cardinality > 1 and len(assignment) > 1:
+                values = list(assignment.values())
+                if len(set(values)) == 1:
+                    key = next(iter(assignment))
+                    assignment[key] = (assignment[key] + 1) % cardinality
+            # Single-parent bijections make the auxiliary indicators of
+            # parent and child identical, which violates faithfulness
+            # for the downstream CI tests; merge two outputs to keep
+            # the mechanism non-injective whenever there is room.
+            if (
+                len(parents) == 1
+                and len(assignment) >= 3
+                and len(set(assignment.values())) == len(assignment)
+            ):
+                keys = sorted(assignment)
+                assignment[keys[1]] = assignment[keys[0]]
+            table = _deterministic_table(
+                parents_cards,
+                cardinality,
+                lambda cfg, a=assignment: a[cfg],
+                noise=1.0 - determinism,
+                rng=rng,
+            )
+            if unconstrained_fraction > 0.0 and cardinality > 1:
+                configs = list(table)
+                # Keep at least one constrained configuration so the
+                # statement is never entirely vacuous.
+                for config in configs[1:]:
+                    if rng.random() < unconstrained_fraction:
+                        table[config] = rng.dirichlet(
+                            np.full(cardinality, 5.0)
+                        )
+        else:
+            dist = rng.dirichlet(np.full(cardinality, 3.0))
+            table = {(): dist}
+        models[node] = NodeModel(node, parents, cardinality, table)
+    return DiscreteSEM(dag, models)
+
+
+def sem_to_program(sem: DiscreteSEM, relation: Relation, min_mode: float = 0.6):
+    """The ground-truth DSL program entailed by a (mostly) deterministic SEM.
+
+    For each node with parents, emit a statement whose branches map each
+    *constrained* parent configuration observed in ``relation`` (modal
+    probability at least ``min_mode``) to the SEM's modal child value;
+    unconstrained configurations yield no branch.  Used as the oracle in
+    end-to-end synthesis tests and for constraint-covered error scoring.
+    """
+    from ..dsl import Branch, Condition, Program, Statement
+
+    statements = []
+    for node in sem.dag.topological_order():
+        model = sem.model(node)
+        if not model.parents:
+            continue
+        observed = relation.group_indices(list(model.parents))
+        branches = []
+        for config in sorted(observed):
+            atoms = tuple(
+                (parent, relation.codec(parent).decode_one(code))
+                for parent, code in zip(model.parents, config)
+            )
+            if any(value is None for _, value in atoms):
+                continue
+            distribution = model.distribution(config)
+            if float(np.max(distribution)) < min_mode:
+                continue  # unconstrained configuration
+            literal = relation.codec(node).decode_one(model.modal_value(config))
+            branches.append(Branch(Condition(atoms), node, literal))
+        if branches:
+            statements.append(
+                Statement(tuple(model.parents), node, tuple(branches))
+            )
+    return Program(tuple(statements))

@@ -1,0 +1,24 @@
+"""Columnar relation substrate (schema, encoding, relation, CSV I/O)."""
+
+from .encoding import MISSING, Codec, CodecError
+from .io import from_csv_text, read_csv, to_csv_text, write_csv
+from .relation import Relation, RelationError, Row, apply_aggregate
+from .schema import Attribute, AttributeType, Schema, SchemaError
+
+__all__ = [
+    "MISSING",
+    "Codec",
+    "CodecError",
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "SchemaError",
+    "Relation",
+    "RelationError",
+    "Row",
+    "apply_aggregate",
+    "read_csv",
+    "write_csv",
+    "to_csv_text",
+    "from_csv_text",
+]

@@ -1,0 +1,100 @@
+"""CSV import/export for relations.
+
+The paper's artifact ships datasets as CSV files; this module provides the
+equivalent loading path for our synthetic dataset twins and for users who
+bring their own data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from .relation import Relation, RelationError
+from .schema import AttributeType, Schema
+
+
+def _open_text(path: str | Path | TextIO, mode: str):
+    if hasattr(path, "read") or hasattr(path, "write"):
+        return path, False
+    return open(path, mode, newline="", encoding="utf-8"), True
+
+
+def read_csv(
+    source: str | Path | TextIO,
+    schema: Schema | None = None,
+    numeric: Iterable[str] = (),
+) -> Relation:
+    """Read a CSV file with a header row into a :class:`Relation`.
+
+    Columns listed in ``numeric`` are parsed as floats (empty cells become
+    missing); everything else is categorical.  A full ``schema`` overrides
+    ``numeric``.
+    """
+    handle, should_close = _open_text(source, "r")
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise RelationError("CSV file is empty") from None
+        numeric_set = set(numeric)
+        if schema is None:
+            schema = Schema(
+                _attr(name, name in numeric_set) for name in header
+            )
+        rows = []
+        for record in reader:
+            if len(record) != len(header):
+                raise RelationError(
+                    f"row has {len(record)} fields, expected {len(header)}"
+                )
+            row = {}
+            for name, cell in zip(header, record):
+                if schema[name].is_numeric():
+                    row[name] = float(cell) if cell != "" else None
+                else:
+                    row[name] = cell if cell != "" else None
+            rows.append(row)
+        return Relation.from_rows(rows, schema=schema)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_csv(relation: Relation, target: str | Path | TextIO) -> None:
+    """Write a relation to a CSV file with a header row."""
+    handle, should_close = _open_text(target, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(relation.names)
+        for row in relation.iter_rows():
+            writer.writerow(
+                ["" if row[n] is None else row[n] for n in relation.names]
+            )
+    finally:
+        if should_close:
+            handle.close()
+
+
+def to_csv_text(relation: Relation) -> str:
+    """Render a relation as CSV text (round-trips via :func:`read_csv`)."""
+    buffer = io.StringIO()
+    write_csv(relation, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_text(
+    text: str, schema: Schema | None = None, numeric: Iterable[str] = ()
+) -> Relation:
+    """Parse CSV text into a relation."""
+    return read_csv(io.StringIO(text), schema=schema, numeric=numeric)
+
+
+def _attr(name: str, is_numeric: bool):
+    from .schema import Attribute
+
+    kind = AttributeType.NUMERIC if is_numeric else AttributeType.CATEGORICAL
+    return Attribute(name, kind)

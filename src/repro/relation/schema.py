@@ -1,0 +1,127 @@
+"""Schema objects for the columnar relation substrate.
+
+A :class:`Schema` is an ordered collection of :class:`Attribute` objects.
+Attributes carry a name and a coarse :class:`AttributeType`; GUARDRAIL's
+synthesis operates on categorical attributes, while the SQL layer also
+needs numeric attributes for aggregation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class AttributeType(enum.Enum):
+    """Coarse type of a column."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttributeType.{self.name}"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: AttributeType = AttributeType.CATEGORICAL
+
+    def is_categorical(self) -> bool:
+        return self.type is AttributeType.CATEGORICAL
+
+    def is_numeric(self) -> bool:
+        return self.type is AttributeType.NUMERIC
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown attribute lookups."""
+
+
+class Schema:
+    """An ordered, name-unique collection of attributes.
+
+    >>> s = Schema([Attribute("city"), Attribute("age", AttributeType.NUMERIC)])
+    >>> s.names
+    ('city', 'age')
+    >>> s["age"].is_numeric()
+    True
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index: dict[str, int] = {}
+        for pos, attr in enumerate(attrs):
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"expected Attribute, got {type(attr).__name__}")
+            if attr.name in index:
+                raise SchemaError(f"duplicate attribute name: {attr.name!r}")
+            index[attr.name] = pos
+        self._attributes = attrs
+        self._index = index
+
+    @classmethod
+    def categorical(cls, names: Iterable[str]) -> "Schema":
+        """Build an all-categorical schema from attribute names."""
+        return cls(Attribute(name) for name in names)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: str | int) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        try:
+            return self._attributes[self._index[key]]
+        except KeyError:
+            raise SchemaError(f"unknown attribute: {key!r}") from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of ``name`` in the schema."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute: {name!r}") from None
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema(self[name] for name in names)
+
+    def categorical_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.is_categorical())
+
+    def numeric_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.is_numeric())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{a.name}:{a.type.value[:3]}" for a in self._attributes
+        )
+        return f"Schema({parts})"

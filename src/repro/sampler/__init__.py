@@ -1,0 +1,5 @@
+"""Samplers feeding the structure learner (paper §4.6, Table 8)."""
+
+from .auxiliary import AuxiliarySampler, IdentitySampler, Sampler, auxiliary_codes
+
+__all__ = ["Sampler", "IdentitySampler", "AuxiliarySampler", "auxiliary_codes"]

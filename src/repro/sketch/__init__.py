@@ -1,0 +1,16 @@
+"""Sketch language, Algorithm 1 (fill), and non-triviality checks."""
+
+from .ast import ProgramSketch, StatementSketch
+from .fill import FillCache, FillStats, fill_program_sketch, fill_statement_sketch
+from .nontriviality import SketchJudge, compound_codes
+
+__all__ = [
+    "ProgramSketch",
+    "StatementSketch",
+    "FillCache",
+    "FillStats",
+    "fill_program_sketch",
+    "fill_statement_sketch",
+    "SketchJudge",
+    "compound_codes",
+]

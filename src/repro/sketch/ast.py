@@ -1,0 +1,92 @@
+"""The sketch language S (paper §3.2, Fig. 3).
+
+A sketch keeps the GIVEN/ON structure of a program — the inter-attribute
+dependency skeleton — and leaves every HAVING clause as a hole (□)::
+
+    p[·] ∈ ProgSketch := s*
+    s[·] ∈ StmtSketch := GIVEN a+ ON a HAVING □
+
+Sketches are derived from PGM structure (a statement sketch per node
+with a non-empty parent set) and concretized by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..dsl.ast import DslError
+from ..pgm.dag import DAG
+
+
+@dataclass(frozen=True)
+class StatementSketch:
+    """``GIVEN determinants ON dependent HAVING □``."""
+
+    determinants: tuple[str, ...]
+    dependent: str
+
+    def __post_init__(self) -> None:
+        if not self.determinants:
+            raise DslError("a statement sketch needs at least one determinant")
+        if len(set(self.determinants)) != len(self.determinants):
+            raise DslError("duplicate determinant attributes in sketch")
+        if self.dependent in self.determinants:
+            raise DslError("dependent cannot be among the determinants")
+        object.__setattr__(
+            self, "determinants", tuple(sorted(self.determinants))
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"GIVEN {', '.join(self.determinants)} "
+            f"ON {self.dependent} HAVING []"
+        )
+
+
+@dataclass(frozen=True)
+class ProgramSketch:
+    """A whole-program sketch: one statement sketch per modeled attribute."""
+
+    statements: tuple[StatementSketch, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def of(cls, statements: Iterable[StatementSketch]) -> "ProgramSketch":
+        return cls(tuple(statements))
+
+    @classmethod
+    def from_dag(cls, dag: DAG) -> "ProgramSketch":
+        """Extract the sketch a DAG entails (Alg. 2, lines 4–9).
+
+        Each node with a non-empty parent set yields
+        ``GIVEN parents ON node HAVING □``; root nodes yield nothing.
+        Statements follow the DAG's topological order so that later
+        rectification repairs upstream attributes first.
+        """
+        sketches = []
+        for node in dag.topological_order():
+            parents = dag.parents(node)
+            if parents:
+                sketches.append(StatementSketch(tuple(sorted(parents)), node))
+        return cls(tuple(sketches))
+
+    def __iter__(self) -> Iterator[StatementSketch]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __bool__(self) -> bool:
+        return bool(self.statements)
+
+    def attributes(self) -> set[str]:
+        out: set[str] = set()
+        for sketch in self.statements:
+            out.update(sketch.determinants)
+            out.add(sketch.dependent)
+        return out
+
+    def __str__(self) -> str:
+        if not self.statements:
+            return "<empty sketch>"
+        return "\n".join(str(s) for s in self.statements)

@@ -1,0 +1,155 @@
+"""Algorithm 1: fill a program sketch against a dataset (paper §3.2).
+
+For each statement sketch ``GIVEN det ON dep HAVING □``:
+
+1. the *warranted conditions* are the determinant value combinations
+   observed in the data (``comb(det)``, line 11);
+2. for each condition, the best-fit literal ``l*`` is the mode of the
+   dependent attribute among matching rows (the 0/1-loss minimizer,
+   line 14);
+3. the branch is kept iff it is ε-valid: ``loss <= |D^b| * ε``
+   (line 15);
+4. a statement materializes only if at least one branch survives
+   (line 19), otherwise the sketch yields ⊥.
+
+The grouping work is vectorized over the relation's code arrays, and a
+statement-level cache (paper §7) shares fills across the many DAGs of a
+Markov equivalence class, which mostly differ in a few edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsl.ast import Branch, Condition, Program, Statement
+from ..relation import MISSING, Relation
+from .ast import ProgramSketch, StatementSketch
+
+
+@dataclass
+class FillStats:
+    """Bookkeeping for the ablation benches."""
+
+    statements_filled: int = 0
+    cache_hits: int = 0
+    branches_considered: int = 0
+    branches_kept: int = 0
+
+
+@dataclass
+class FillCache:
+    """Statement-level memo: sketch → concretized statement (or None)."""
+
+    entries: dict[StatementSketch, Statement | None] = field(
+        default_factory=dict
+    )
+
+    def get(self, sketch: StatementSketch):
+        return self.entries.get(sketch, _MISS)
+
+    def put(self, sketch: StatementSketch, statement: Statement | None) -> None:
+        self.entries[sketch] = statement
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+_MISS = object()
+
+
+def fill_statement_sketch(
+    sketch: StatementSketch,
+    relation: Relation,
+    epsilon: float,
+    min_support: int = 1,
+    stats: FillStats | None = None,
+) -> Statement | None:
+    """Concretize one statement sketch (Alg. 1, FillStmtSketch).
+
+    Returns None (the paper's ⊥) when no branch is ε-valid.
+
+    Parameters
+    ----------
+    epsilon:
+        Noise tolerance of Eqn. 3.
+    min_support:
+        Conditions observed fewer than this many times are not
+        warranted (guards against one-off value combinations).
+    """
+    determinants = list(sketch.determinants)
+    dependent = sketch.dependent
+    groups = relation.group_indices(determinants)
+    dep_codes = relation.codes(dependent)
+    dep_codec = relation.codec(dependent)
+
+    branches: list[Branch] = []
+    for config, indices in sorted(groups.items()):
+        if MISSING in config:
+            continue  # a corrupted determinant cell warrants nothing
+        support = indices.size
+        if support < min_support:
+            continue
+        if stats is not None:
+            stats.branches_considered += 1
+        values = dep_codes[indices]
+        values = values[values != MISSING]
+        if values.size == 0:
+            continue
+        counts = np.bincount(values)
+        best_code = int(np.argmax(counts))
+        loss = support - int(counts[best_code])
+        if loss > support * epsilon:
+            continue
+        atoms = tuple(
+            (name, relation.codec(name).decode_one(code))
+            for name, code in zip(determinants, config)
+        )
+        literal = dep_codec.decode_one(best_code)
+        branches.append(Branch(Condition(atoms), dependent, literal))
+        if stats is not None:
+            stats.branches_kept += 1
+
+    if not branches:
+        return None
+    if stats is not None:
+        stats.statements_filled += 1
+    return Statement(tuple(determinants), dependent, tuple(branches))
+
+
+def fill_program_sketch(
+    sketch: ProgramSketch,
+    relation: Relation,
+    epsilon: float,
+    min_support: int = 1,
+    cache: FillCache | None = None,
+    stats: FillStats | None = None,
+) -> Program:
+    """Concretize a whole program sketch (Alg. 1, main loop).
+
+    Statement sketches that concretize to ⊥ are dropped; the rest keep
+    the sketch's order.
+    """
+    statements: list[Statement] = []
+    for statement_sketch in sketch:
+        if cache is not None:
+            hit = cache.get(statement_sketch)
+            if hit is not _MISS:
+                if stats is not None:
+                    stats.cache_hits += 1
+                if hit is not None:
+                    statements.append(hit)
+                continue
+        filled = fill_statement_sketch(
+            statement_sketch,
+            relation,
+            epsilon,
+            min_support=min_support,
+            stats=stats,
+        )
+        if cache is not None:
+            cache.put(statement_sketch, filled)
+        if filled is not None:
+            statements.append(filled)
+    return Program(tuple(statements))

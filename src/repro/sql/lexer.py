@@ -1,0 +1,82 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+from .ast import SqlError
+
+
+class SqlSyntaxError(SqlError):
+    """Raised on malformed SQL text."""
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT AS AND OR NOT IN IS
+    NULL CASE WHEN THEN ELSE END ASC DESC TRUE FALSE DISTINCT
+    """.split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|--[^\n]*)
+  | (?P<STRING>'(?:[^']|'')*')
+  | (?P<NUMBER>\d+\.\d+|\.\d+|\d+)
+  | (?P<NEQ><>|!=)
+  | (?P<LE><=)
+  | (?P<GE>>=)
+  | (?P<EQ>==?)
+  | (?P<LT><)
+  | (?P<GT>>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<STAR>\*)
+  | (?P<PLUS>\+)
+  | (?P<MINUS>-)
+  | (?P<SLASH>/)
+  | (?P<SEMI>;)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_\-]*|"(?:[^"]|"")*")
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; keywords are detected case-insensitively."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {text[position]!r} at offset "
+                f"{position}"
+            )
+        kind = match.lastgroup or ""
+        raw = match.group()
+        if kind != "WS":
+            if kind == "IDENT":
+                if raw.startswith('"'):
+                    raw = raw[1:-1].replace('""', '"')
+                elif raw.upper() in KEYWORDS:
+                    kind = raw.upper()
+            elif kind == "STRING":
+                raw = raw[1:-1].replace("''", "'")
+            tokens.append(Token(kind, raw, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", position))
+    return tokens

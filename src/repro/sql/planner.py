@@ -1,0 +1,178 @@
+"""Logical planning for the SQL subset, with predicate pushdown (§7).
+
+A query compiles into a linear pipeline of stages::
+
+    Scan → Filter(pre) → Guard → Predict → Filter(post)
+         → Aggregate | Project → Sort → Limit
+
+The WHERE clause is split into conjuncts: those that do not depend on a
+``PREDICT(...)`` expression are pushed *before* the guard/inference
+stages (fewer rows vetted and predicted — the optimization the paper
+names), while prediction-dependent conjuncts run after inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import (
+    BinaryOp,
+    Expr,
+    OrderItem,
+    Predict,
+    SelectItem,
+    SelectQuery,
+    contains_predict,
+)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """Base class for plan stages."""
+
+
+@dataclass(frozen=True)
+class Scan(Stage):
+    table: str
+
+
+@dataclass(frozen=True)
+class Filter(Stage):
+    predicate: Expr
+    pushed_down: bool = False
+
+
+@dataclass(frozen=True)
+class Guard(Stage):
+    """Vet model-input rows with the fitted GUARDRAIL before inference."""
+
+    strategy: str
+
+
+@dataclass(frozen=True)
+class PredictStage(Stage):
+    """Materialize each distinct PREDICT expression as a column."""
+
+    predicts: tuple[Predict, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Stage):
+    group_by: tuple[Expr, ...]
+    items: tuple[SelectItem, ...]
+    having: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Project(Stage):
+    items: tuple[SelectItem, ...]
+
+
+@dataclass(frozen=True)
+class Sort(Stage):
+    keys: tuple[OrderItem, ...]
+
+
+@dataclass(frozen=True)
+class Limit(Stage):
+    count: int
+
+
+@dataclass
+class Plan:
+    """An ordered stage pipeline."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = []
+        for stage in self.stages:
+            name = type(stage).__name__
+            if isinstance(stage, Filter):
+                marker = " (pushed down)" if stage.pushed_down else ""
+                lines.append(f"{name}: {stage.predicate}{marker}")
+            elif isinstance(stage, Scan):
+                lines.append(f"{name}: {stage.table}")
+            elif isinstance(stage, PredictStage):
+                inner = ", ".join(str(p) for p in stage.predicts)
+                lines.append(f"{name}: {inner}")
+            elif isinstance(stage, Guard):
+                lines.append(f"{name}: strategy={stage.strategy}")
+            else:
+                lines.append(name)
+        return "\n".join(lines)
+
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a tree of ANDs into its conjuncts."""
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    if not conjuncts:
+        return None
+    out = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        out = BinaryOp("and", out, conjunct)
+    return out
+
+
+def collect_predicts(query: SelectQuery) -> tuple[Predict, ...]:
+    """Distinct PREDICT expressions anywhere in the query."""
+    seen: dict[Predict, None] = {}
+    expressions: list[Expr] = [item.expr for item in query.items]
+    if query.where is not None:
+        expressions.append(query.where)
+    expressions.extend(query.group_by)
+    if query.having is not None:
+        expressions.append(query.having)
+    expressions.extend(o.expr for o in query.order_by)
+    for expr in expressions:
+        for node in expr.walk():
+            if isinstance(node, Predict):
+                seen[node] = None
+    return tuple(seen)
+
+
+def plan_query(
+    query: SelectQuery,
+    guard_strategy: str | None = None,
+) -> Plan:
+    """Compile a parsed query into a stage pipeline.
+
+    ``guard_strategy`` inserts a :class:`Guard` stage before inference
+    when set (and the query actually invokes a model).
+    """
+    plan = Plan([Scan(query.table)])
+    predicts = collect_predicts(query)
+
+    pre: list[Expr] = []
+    post: list[Expr] = []
+    if query.where is not None:
+        for conjunct in split_conjuncts(query.where):
+            (post if contains_predict(conjunct) else pre).append(conjunct)
+    pre_predicate = conjoin(pre)
+    post_predicate = conjoin(post)
+
+    if pre_predicate is not None:
+        plan.stages.append(Filter(pre_predicate, pushed_down=bool(predicts)))
+    if predicts:
+        if guard_strategy is not None:
+            plan.stages.append(Guard(guard_strategy))
+        plan.stages.append(PredictStage(predicts))
+    if post_predicate is not None:
+        plan.stages.append(Filter(post_predicate))
+
+    if query.is_aggregate():
+        plan.stages.append(
+            Aggregate(query.group_by, query.items, query.having)
+        )
+    else:
+        plan.stages.append(Project(query.items))
+    if query.order_by:
+        plan.stages.append(Sort(query.order_by))
+    if query.limit is not None:
+        plan.stages.append(Limit(query.limit))
+    return plan

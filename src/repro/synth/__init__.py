@@ -1,0 +1,29 @@
+"""Synthesis core: Algorithm 2, the Guardrail facade, OptSMT baseline."""
+
+from .config import GuardrailConfig
+from .optsmt import (
+    OptSmtOutcome,
+    OptSmtSynthesizer,
+    SolverBudgetExceeded,
+    estimate_clause_count,
+    iter_candidate_sketches,
+)
+from .synthesizer import (
+    Guardrail,
+    SynthesisResult,
+    enumerate_candidate_dags,
+    synthesize,
+)
+
+__all__ = [
+    "Guardrail",
+    "GuardrailConfig",
+    "SynthesisResult",
+    "synthesize",
+    "enumerate_candidate_dags",
+    "OptSmtOutcome",
+    "OptSmtSynthesizer",
+    "SolverBudgetExceeded",
+    "estimate_clause_count",
+    "iter_candidate_sketches",
+]

@@ -1,0 +1,65 @@
+"""Configuration for GUARDRAIL synthesis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sampler import AuxiliarySampler, Sampler
+
+
+@dataclass
+class GuardrailConfig:
+    """Knobs of the synthesis pipeline (paper defaults in brackets).
+
+    Attributes
+    ----------
+    epsilon:
+        Noise tolerance ε of Eqn. 3 [0.01–0.05 recommended, §8.3].
+    alpha:
+        Significance level of the conditional-independence tests behind
+        structure learning.
+    sampler:
+        How data reaches the structure learner: the auxiliary binary
+        distribution (default, §4.6) or the identity sampler (Table 8's
+        ablation arm).
+    learner:
+        Structure learner backend: ``"pc"`` (constraint-based,
+        the paper's choice) or ``"hc"`` (BIC hill climbing — the
+        score-based alternative).
+    max_dags:
+        Cap on Markov-equivalence-class enumeration (Alg. 2 footnote).
+    max_condition_size:
+        Cap on PC conditioning-set size (None = unbounded).
+    min_support:
+        Minimum number of rows a warranted condition must cover before
+        Algorithm 1 will emit a branch for it.
+    prune_gnt:
+        Run the explicit GNT pruning pass on the learned sketch.  The
+        sketch of a faithfully learned MEC is GNT by Thm. 4.1, so this
+        defaults to off; it matters when PC output is noisy.
+    seed:
+        Seed for the sampler's row pairing.
+    """
+
+    epsilon: float = 0.01
+    alpha: float = 0.01
+    sampler: Sampler = field(default_factory=AuxiliarySampler)
+    learner: str = "pc"
+    max_dags: int = 512
+    max_condition_size: int | None = 3
+    min_support: int = 1
+    min_samples_per_dof: float = 5.0
+    prune_gnt: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learner not in ("pc", "hc"):
+            raise ValueError("learner must be 'pc' or 'hc'")
+        if not 0.0 <= self.epsilon < 1.0:
+            raise ValueError("epsilon must be in [0, 1)")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.max_dags < 1:
+            raise ValueError("max_dags must be positive")
+        if self.min_support < 1:
+            raise ValueError("min_support must be positive")

@@ -1,0 +1,295 @@
+"""GUARDRAIL synthesis: Algorithm 2 and the user-facing facade.
+
+Pipeline (paper Fig. 4):
+
+    data ──sampler──> auxiliary samples ──PC──> CPDAG (the MEC)
+         ──enumerate DAGs──> sketches ──Alg. 1──> candidate programs
+         ──max coverage──> the synthesized integrity-constraint program
+
+:func:`synthesize` runs the pipeline once and returns the best program
+plus diagnostics; :class:`Guardrail` wraps it in a fit/check/handle API
+mirroring the paper's deployment story (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsl import Program, program_coverage, program_loss, program_violations
+from ..pgm import CITester, PCResult, enumerate_mec, learn_cpdag
+from ..relation import Relation
+from ..sketch import FillCache, FillStats, ProgramSketch, SketchJudge, fill_program_sketch
+from .config import GuardrailConfig
+
+
+@dataclass
+class SynthesisResult:
+    """The synthesized program plus everything the evaluation reports."""
+
+    program: Program
+    coverage: float
+    loss: int
+    pc_result: PCResult
+    n_dags_enumerated: int
+    fill_stats: FillStats
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+def enumerate_candidate_dags(cpdag, max_dags: int | None = None):
+    """DAG candidates entailed by a (possibly noisy) learned pattern.
+
+    Yields the consistent extensions of the pattern; when the pattern
+    admits none (conflicting collider evidence on finite data can make
+    it cyclic), falls back to extensions of its undirected *skeleton*
+    so downstream coverage selection always has candidates.
+    """
+    from ..pgm import PDAG
+
+    produced = 0
+    for dag in enumerate_mec(cpdag, max_dags=max_dags, verify_leaves=False):
+        produced += 1
+        yield dag
+    if produced == 0 and cpdag.skeleton():
+        skeleton = PDAG(
+            cpdag.nodes,
+            undirected=(tuple(sorted(e)) for e in cpdag.skeleton()),
+        )
+        for dag in enumerate_mec(
+            skeleton, max_dags=max_dags, verify_leaves=False
+        ):
+            produced += 1
+            yield dag
+    if produced == 0 and cpdag.skeleton():
+        # Non-chordal skeletons admit no collider-free orientation at
+        # all; orient along a fixed node order as a last-resort
+        # candidate (always acyclic; coverage selection judges it).
+        from ..pgm import DAG
+
+        order = {node: i for i, node in enumerate(cpdag.nodes)}
+        edges = [
+            tuple(sorted(edge, key=lambda n: order[n]))
+            for edge in cpdag.skeleton()
+        ]
+        yield DAG(cpdag.nodes, edges)
+
+
+def synthesize(
+    relation: Relation, config: GuardrailConfig | None = None
+) -> SynthesisResult:
+    """Synthesize the optimal ε-valid program for a dataset (Alg. 2).
+
+    Enumerates the DAGs of the learned Markov equivalence class, derives
+    the program sketch each DAG entails, concretizes it with Algorithm 1
+    (sharing a statement-level fill cache across DAGs), and returns the
+    program with the highest coverage.
+    """
+    config = config or GuardrailConfig()
+    rng = np.random.default_rng(config.seed)
+    timings: dict[str, float] = {}
+
+    # Phase 1: sampling (auxiliary distribution by default, §4.6).
+    start = time.perf_counter()
+    codes, names = config.sampler.transform(relation, rng)
+    timings["sampling"] = time.perf_counter() - start
+
+    # Phase 2: structure learning to the MEC (§4.4).
+    start = time.perf_counter()
+    tester = CITester(
+        codes,
+        names,
+        alpha=config.alpha,
+        min_samples_per_dof=config.min_samples_per_dof,
+    )
+    if config.learner == "hc":
+        # Score-based alternative: hill-climb a DAG, then take its
+        # equivalence class (the CPDAG) so the rest of Alg. 2 is shared.
+        from ..pgm import cpdag_from_dag, hill_climb
+
+        hc_result = hill_climb(codes, names)
+        pc_result = PCResult(
+            cpdag=cpdag_from_dag(hc_result.dag),
+            separating_sets={},
+            n_ci_tests=hc_result.families_scored,
+        )
+    else:
+        pc_result = learn_cpdag(
+            tester, max_condition_size=config.max_condition_size
+        )
+    timings["structure_learning"] = time.perf_counter() - start
+
+    # Phase 3: MEC enumeration + sketch concretization (Alg. 2).
+    start = time.perf_counter()
+    cache = FillCache()
+    stats = FillStats()
+    judge = SketchJudge(tester) if config.prune_gnt else None
+
+    best_program = Program.empty()
+    best_coverage = -1.0
+    n_dags = 0
+    # PC output on finite noisy data is not always a perfectly valid
+    # CPDAG (conflicting v-structures); treat it as background knowledge
+    # and enumerate its consistent extensions instead of enforcing exact
+    # class membership — Alg. 2's coverage criterion then selects among
+    # them.
+    def consider(dag) -> None:
+        nonlocal best_program, best_coverage, n_dags
+        n_dags += 1
+        sketch = ProgramSketch.from_dag(dag)
+        if judge is not None:
+            sketch = judge.prune_to_gnt(sketch)
+        program = fill_program_sketch(
+            sketch,
+            relation,
+            config.epsilon,
+            min_support=config.min_support,
+            cache=cache,
+            stats=stats,
+        )
+        # Selection uses *total* statement coverage: unlike the average,
+        # it does not reward DAGs whose statements fail to concretize
+        # (⊥ statements are dropped, which would inflate an average).
+        coverage = program_coverage(program, relation) * max(len(program), 1)
+        if coverage > best_coverage:
+            best_coverage = coverage
+            best_program = program
+
+    for dag in enumerate_candidate_dags(
+        pc_result.cpdag, max_dags=config.max_dags
+    ):
+        consider(dag)
+    timings["enumeration_and_fill"] = time.perf_counter() - start
+
+    loss = program_loss(best_program, relation)
+    return SynthesisResult(
+        program=best_program,
+        # Reported coverage follows the paper's definition (average
+        # statement coverage, Eqn. 6), independent of the selection
+        # criterion above.
+        coverage=program_coverage(best_program, relation),
+        loss=loss,
+        pc_result=pc_result,
+        n_dags_enumerated=n_dags,
+        fill_stats=stats,
+        timings=timings,
+    )
+
+
+class Guardrail:
+    """The deployable artifact: fit once, then vet incoming rows.
+
+    >>> guard = Guardrail(GuardrailConfig(epsilon=0.02))
+    >>> guard.fit(train)                    # offline synthesis
+    >>> mask = guard.check(test)            # True where a row violates
+    >>> clean = guard.handle(test, "rectify")
+    """
+
+    def __init__(self, config: GuardrailConfig | None = None):
+        self.config = config or GuardrailConfig()
+        self._result: SynthesisResult | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, relation: Relation) -> "Guardrail":
+        """Synthesize integrity constraints from (noisy) training data."""
+        self._result = synthesize(relation, self.config)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> SynthesisResult:
+        if self._result is None:
+            raise RuntimeError("Guardrail is not fitted; call fit() first")
+        return self._result
+
+    @property
+    def program(self) -> Program:
+        return self.result.program
+
+    # ------------------------------------------------------------------
+
+    def check(self, relation: Relation) -> np.ndarray:
+        """Boolean mask of rows violating the synthesized constraints."""
+        return program_violations(self.program, relation)
+
+    def check_row(self, row: dict) -> bool:
+        """Does a single (decoded) row violate the constraints?"""
+        from ..dsl import row_conforms
+
+        return not row_conforms(self.program, row)
+
+    def handle(self, relation: Relation, strategy: str = "rectify"):
+        """Apply an error-handling strategy; see :mod:`repro.errors`."""
+        from ..errors import apply_strategy
+
+        return apply_strategy(self.program, relation, strategy)
+
+    def rectify(self, relation: Relation) -> Relation:
+        """Shorthand for the rectify strategy, returning only the data."""
+        outcome = self.handle(relation, "rectify")
+        return outcome.relation
+
+    def save(self, path) -> None:
+        """Persist the synthesized program as DSL text.
+
+        The text form round-trips exactly (``parse_program``), so a
+        saved guardrail can be audited, edited, and reloaded.
+        """
+        from pathlib import Path
+
+        from ..dsl import format_program
+
+        Path(path).write_text(
+            format_program(self.program) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path, config: GuardrailConfig | None = None) -> "Guardrail":
+        """Reconstruct a guardrail from a saved program file.
+
+        The loaded instance can check/handle data immediately; synthesis
+        metadata (timings, PC diagnostics) is not restored.
+        """
+        from pathlib import Path
+
+        from ..dsl import parse_program
+
+        program = parse_program(Path(path).read_text(encoding="utf-8"))
+        guard = cls(config)
+        guard._result = SynthesisResult(
+            program=program,
+            coverage=float("nan"),
+            loss=0,
+            pc_result=None,  # type: ignore[arg-type]
+            n_dags_enumerated=0,
+            fill_stats=FillStats(),
+        )
+        return guard
+
+    def describe(self) -> str:
+        """Human-readable summary of the fitted constraints."""
+        from ..dsl import format_program
+
+        result = self.result
+        ci_tests = (
+            result.pc_result.n_ci_tests if result.pc_result else "n/a"
+        )
+        lines = [
+            f"Guardrail: {len(result.program)} statements, "
+            f"{len(result.program.branches)} branches",
+            f"coverage={result.coverage:.3f} loss={result.loss} "
+            f"dags={result.n_dags_enumerated} "
+            f"ci_tests={ci_tests}",
+        ]
+        if result.program:
+            lines.append(format_program(result.program))
+        return "\n".join(lines)

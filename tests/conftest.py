@@ -1,0 +1,85 @@
+"""Shared fixtures for the GUARDRAIL test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsl import Branch, Condition, Program, Statement
+from repro.pgm import DAG, random_sem
+from repro.relation import Relation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def city_relation() -> Relation:
+    """The paper's running example: PostalCode -> City -> State -> Country."""
+    rows = []
+    mapping = {
+        "94704": ("Berkeley", "CA", "USA"),
+        "94720": ("Berkeley", "CA", "USA"),
+        "10001": ("NewYork", "NY", "USA"),
+        "10002": ("NewYork", "NY", "USA"),
+        "73301": ("Austin", "TX", "USA"),
+    }
+    for postal, (city, state, country) in mapping.items():
+        for _ in range(10):
+            rows.append(
+                {
+                    "PostalCode": postal,
+                    "City": city,
+                    "State": state,
+                    "Country": country,
+                }
+            )
+    return Relation.from_rows(rows)
+
+
+@pytest.fixture
+def city_program() -> Program:
+    """The ground-truth program for :func:`city_relation`."""
+    postal_to_city = {
+        "94704": "Berkeley",
+        "94720": "Berkeley",
+        "10001": "NewYork",
+        "10002": "NewYork",
+        "73301": "Austin",
+    }
+    city_to_state = {"Berkeley": "CA", "NewYork": "NY", "Austin": "TX"}
+    state_to_country = {"CA": "USA", "NY": "USA", "TX": "USA"}
+
+    def statement(dep: str, det: str, table: dict) -> Statement:
+        branches = tuple(
+            Branch(Condition.of(**{det: key}), dep, value)
+            for key, value in table.items()
+        )
+        return Statement((det,), dep, branches)
+
+    return Program(
+        (
+            statement("City", "PostalCode", postal_to_city),
+            statement("State", "City", city_to_state),
+            statement("Country", "State", state_to_country),
+        )
+    )
+
+
+@pytest.fixture
+def chain_dag() -> DAG:
+    """a -> b -> c with d -> b (one v-structure)."""
+    return DAG(["a", "b", "c", "d"], [("a", "b"), ("d", "b"), ("b", "c")])
+
+
+@pytest.fixture
+def chain_relation(chain_dag, rng) -> Relation:
+    sem = random_sem(chain_dag, cardinalities=3, determinism=0.99, rng=rng)
+    return sem.sample(2000, rng)
+
+
+@pytest.fixture
+def chain_sem(chain_dag, rng):
+    return random_sem(chain_dag, cardinalities=3, determinism=0.99, rng=rng)

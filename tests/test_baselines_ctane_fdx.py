@@ -1,0 +1,107 @@
+"""Tests for the CTANE and FDX baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CFDErrorDetector,
+    FdxIllConditioned,
+    ctane,
+    fdx,
+)
+from repro.pgm import DAG, random_sem
+from repro.relation import Relation
+
+
+class TestCTane:
+    def test_discovers_constant_patterns(self, city_relation):
+        result = ctane(city_relation, max_lhs=1, min_support=5)
+        patterns = {
+            (c.lhs, c.values, c.rhs, c.value) for c in result.cfds
+        }
+        assert (
+            ("PostalCode",),
+            ("94704",),
+            "City",
+            "Berkeley",
+        ) in patterns
+
+    def test_min_support_respected(self, city_relation):
+        result = ctane(city_relation, max_lhs=1, min_support=100)
+        assert result.cfds == []
+
+    def test_confidence_threshold(self):
+        rows = [{"a": "x", "b": "1"}] * 9 + [{"a": "x", "b": "2"}]
+        relation = Relation.from_rows(rows)
+        exact = ctane(relation, max_lhs=1, min_confidence=1.0)
+        loose = ctane(relation, max_lhs=1, min_confidence=0.85)
+        assert not any(c.rhs == "b" for c in exact.cfds)
+        assert any(c.rhs == "b" for c in loose.cfds)
+
+    def test_minimality_pruning(self, city_relation):
+        result = ctane(city_relation, max_lhs=2, min_support=2)
+        # A two-attribute pattern implying City is redundant when the
+        # PostalCode sub-pattern already implies it.
+        for cfd in result.cfds:
+            if cfd.rhs == "City" and len(cfd.lhs) == 2:
+                assert "PostalCode" not in cfd.lhs
+
+    def test_max_cfds_cap(self, city_relation):
+        result = ctane(city_relation, max_lhs=2, min_support=1, max_cfds=3)
+        assert len(result.cfds) == 3
+
+    def test_detector_flags_pattern_violations(self, city_relation):
+        result = ctane(city_relation, max_lhs=1, min_support=5)
+        detector = CFDErrorDetector(result.cfds)
+        assert not detector.detect(city_relation).any()
+        corrupted = city_relation.set_cell(0, "City", "gibbon")
+        assert detector.detect(corrupted)[0]
+
+    def test_str_rendering(self, city_relation):
+        result = ctane(city_relation, max_lhs=1, min_support=5)
+        assert "->" in str(result.cfds[0])
+
+
+class TestFdx:
+    def test_discovers_fds_on_noisy_chain(self, rng):
+        dag = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        sem = random_sem(dag, 3, determinism=0.9, rng=rng)
+        relation = sem.sample(3000, rng)
+        result = fdx(relation)
+        assert result.fds  # finds some structure
+        assert result.coefficient_matrix is not None
+        assert set(result.residual_variances) == {"a", "b", "c"}
+
+    def test_parent_sets_acyclic_by_construction(self, rng):
+        dag = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        sem = random_sem(dag, 3, determinism=0.9, rng=rng)
+        relation = sem.sample(2000, rng)
+        result = fdx(relation)
+        edges = [(p, fd.rhs) for fd in result.fds for p in fd.lhs]
+        DAG(["a", "b", "c"], edges)  # raises on a cycle
+
+    def test_ill_conditioned_on_deterministic_bijection(self, rng):
+        """Perfectly collinear indicator columns reproduce the paper's
+        dataset-#3 failure ('-' in Table 3)."""
+        values = [f"v{v}" for v in rng.integers(0, 3, 800)]
+        relation = Relation.from_columns(
+            {"a": values, "b": list(values)}  # identical columns
+        )
+        with pytest.raises(FdxIllConditioned):
+            fdx(relation)
+
+    def test_too_few_columns(self, rng):
+        relation = Relation.from_columns(
+            {"only": [f"v{v}" for v in rng.integers(0, 3, 50)]}
+        )
+        assert fdx(relation).fds == []
+
+    def test_threshold_controls_density(self, rng):
+        dag = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        sem = random_sem(dag, 3, determinism=0.9, rng=rng)
+        relation = sem.sample(2000, rng)
+        dense = fdx(relation, threshold=0.01)
+        sparse = fdx(relation, threshold=0.9)
+        n_dense = sum(len(f.lhs) for f in dense.fds)
+        n_sparse = sum(len(f.lhs) for f in sparse.fds)
+        assert n_sparse <= n_dense

@@ -1,0 +1,133 @@
+"""Tests for the FD machinery shared by the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FD,
+    FDErrorDetector,
+    StrippedPartition,
+    fd_holds,
+    g3_error,
+    minimal_cover,
+)
+from repro.relation import Relation
+
+
+class TestFD:
+    def test_lhs_sorted(self):
+        assert FD(("b", "a"), "c").lhs == ("a", "b")
+
+    def test_rhs_in_lhs_rejected(self):
+        with pytest.raises(ValueError):
+            FD(("a",), "a")
+
+    def test_str(self):
+        assert str(FD(("a", "b"), "c")) == "{a, b} -> c"
+
+
+class TestStrippedPartition:
+    def test_from_codes_strips_singletons(self):
+        codes = np.array([0, 0, 1, 2, 2, 2], dtype=np.int32)
+        partition = StrippedPartition.from_codes(codes, 6)
+        sizes = sorted(len(c) for c in partition.classes)
+        assert sizes == [2, 3]
+        assert partition.size == 5
+        assert partition.n_classes == 2
+
+    def test_error(self):
+        codes = np.array([0, 0, 0, 1], dtype=np.int32)
+        partition = StrippedPartition.from_codes(codes, 4)
+        assert partition.error() == 2  # ||Π|| - |Π| = 3 - 1
+
+    def test_product_refines(self):
+        a = np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        b = np.array([0, 0, 1, 1, 1, 0], dtype=np.int32)
+        pa = StrippedPartition.from_codes(a, 6)
+        pb = StrippedPartition.from_codes(b, 6)
+        product = pa.product(pb)
+        groups = sorted(sorted(int(i) for i in c) for c in product.classes)
+        assert groups == [[0, 1], [3, 4]]
+
+    def test_product_with_all_singletons(self):
+        a = np.array([0, 0, 1, 1], dtype=np.int32)
+        b = np.array([0, 1, 0, 1], dtype=np.int32)
+        product = StrippedPartition.from_codes(a, 4).product(
+            StrippedPartition.from_codes(b, 4)
+        )
+        assert product.n_classes == 0
+
+
+class TestG3Error:
+    def test_exact_fd_zero_error(self, city_relation):
+        lhs = StrippedPartition.from_codes(
+            city_relation.codes("PostalCode"), city_relation.n_rows
+        )
+        joint = lhs.product(
+            StrippedPartition.from_codes(
+                city_relation.codes("City"), city_relation.n_rows
+            )
+        )
+        assert g3_error(lhs, joint) == 0.0
+
+    def test_violated_fd_counts_minimum_removals(self):
+        relation = Relation.from_rows(
+            [{"a": "x", "b": "1"}] * 8 + [{"a": "x", "b": "2"}] * 2
+        )
+        lhs = StrippedPartition.from_codes(relation.codes("a"), 10)
+        joint = lhs.product(
+            StrippedPartition.from_codes(relation.codes("b"), 10)
+        )
+        assert g3_error(lhs, joint) == pytest.approx(0.2)
+
+
+class TestFdHolds:
+    def test_exact(self, city_relation):
+        assert fd_holds(city_relation, FD(("PostalCode",), "City"))
+        assert fd_holds(city_relation, FD(("City",), "State"))
+
+    def test_violated(self, city_relation):
+        # City does not determine PostalCode (Berkeley has two codes).
+        assert not fd_holds(city_relation, FD(("City",), "PostalCode"))
+
+    def test_approximate_threshold(self, city_relation):
+        corrupted = city_relation.set_cell(0, "City", "gibbon")
+        assert not fd_holds(corrupted, FD(("PostalCode",), "City"))
+        assert fd_holds(
+            corrupted, FD(("PostalCode",), "City"), max_error=0.05
+        )
+
+
+class TestFDErrorDetector:
+    def test_detects_deviating_rows(self, city_relation):
+        detector = FDErrorDetector([FD(("PostalCode",), "City")])
+        detector.fit(city_relation)
+        corrupted = city_relation.set_cell(3, "City", "gibbon")
+        mask = detector.detect(corrupted)
+        assert mask.tolist().index(True) == 3
+        assert mask.sum() == 1
+
+    def test_unseen_lhs_not_flagged(self, city_relation):
+        detector = FDErrorDetector([FD(("PostalCode",), "City")]).fit(
+            city_relation
+        )
+        novel = city_relation.set_cell(0, "PostalCode", "99999")
+        mask = detector.detect(novel)
+        assert not mask[0]
+
+    def test_no_fds_flags_nothing(self, city_relation):
+        detector = FDErrorDetector([]).fit(city_relation)
+        assert not detector.detect(city_relation).any()
+
+
+class TestMinimalCover:
+    def test_supersets_dropped(self):
+        fds = [
+            FD(("a",), "c"),
+            FD(("a", "b"), "c"),
+            FD(("b",), "d"),
+        ]
+        cover = minimal_cover(fds)
+        assert FD(("a",), "c") in cover
+        assert FD(("a", "b"), "c") not in cover
+        assert FD(("b",), "d") in cover

@@ -1,0 +1,76 @@
+"""Property tests pitting the baselines against brute-force references."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FD, fd_holds, minimal_cover, tane
+from repro.relation import Relation
+
+
+@st.composite
+def small_relations(draw) -> Relation:
+    n_columns = draw(st.integers(2, 4))
+    n_rows = draw(st.integers(4, 24))
+    names = [f"c{i}" for i in range(n_columns)]
+    columns = {
+        name: [
+            f"v{draw(st.integers(0, 2))}" for _ in range(n_rows)
+        ]
+        for name in names
+    }
+    return Relation.from_columns(columns)
+
+
+def brute_force_minimal_fds(relation: Relation, max_lhs: int) -> set[FD]:
+    """All minimal exact FDs by direct checking."""
+    names = list(relation.schema.categorical_names())
+    found: set[FD] = set()
+    for rhs in names:
+        others = [n for n in names if n != rhs]
+        holding: list[tuple[str, ...]] = []
+        for size in range(1, max_lhs + 1):
+            for lhs in combinations(others, size):
+                if any(set(h) <= set(lhs) for h in holding):
+                    continue  # not minimal
+                if fd_holds(relation, FD(lhs, rhs)):
+                    holding.append(lhs)
+        found.update(FD(lhs, rhs) for lhs in holding)
+    return found
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_relations())
+def test_tane_matches_brute_force(relation):
+    """TANE's exact output equals the brute-force minimal FD set."""
+    result = tane(relation, max_lhs=2, max_error=0.0)
+    assert set(result.fds) == brute_force_minimal_fds(relation, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_relations())
+def test_tane_output_is_minimal(relation):
+    result = tane(relation, max_lhs=3, max_error=0.0)
+    fds = set(result.fds)
+    assert minimal_cover(list(fds)) == sorted(
+        minimal_cover(list(fds)),
+        key=lambda f: (f.rhs, f.lhs),
+    ) or len(minimal_cover(list(fds))) == len(fds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_relations(), st.floats(0.0, 0.3))
+def test_approximate_tane_superset_of_exact(relation, max_error):
+    """Loosening the g3 threshold can only add FDs (per rhs, some lhs
+    that is a subset of an exact lhs or new)."""
+    exact = tane(relation, max_lhs=2, max_error=0.0)
+    approx = tane(relation, max_lhs=2, max_error=max_error)
+    # Every exact FD remains derivable: some approximate FD with the
+    # same rhs has an lhs contained in the exact one.
+    for fd in exact.fds:
+        assert any(
+            a.rhs == fd.rhs and set(a.lhs) <= set(fd.lhs)
+            for a in approx.fds
+        ), f"{fd} lost at max_error={max_error}"

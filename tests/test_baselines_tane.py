@@ -1,0 +1,72 @@
+"""Tests for the TANE baseline."""
+
+import pytest
+
+from repro.baselines import FD, fd_holds, tane
+from repro.relation import Relation
+
+
+class TestExactTane:
+    def test_discovers_chain_fds(self, city_relation):
+        result = tane(city_relation, max_lhs=1)
+        found = set(result.fds)
+        assert FD(("PostalCode",), "City") in found
+        assert FD(("City",), "State") in found
+        assert FD(("State",), "Country") in found
+
+    def test_every_reported_fd_holds(self, city_relation):
+        result = tane(city_relation, max_lhs=2)
+        for fd in result.fds:
+            assert fd_holds(city_relation, fd), str(fd)
+
+    def test_minimality_pruning(self, city_relation):
+        """{PostalCode, X} -> City must not be reported when
+        PostalCode -> City already holds."""
+        result = tane(city_relation, max_lhs=2)
+        for fd in result.fds:
+            if fd.rhs == "City" and "PostalCode" in fd.lhs:
+                assert fd.lhs == ("PostalCode",)
+
+    def test_no_fds_on_independent_data(self, rng):
+        relation = Relation.from_columns(
+            {
+                "a": [f"a{v}" for v in rng.integers(0, 2, 64)],
+                "b": [f"b{v}" for v in rng.integers(0, 2, 64)],
+            }
+        )
+        # With 64 rows over 2x2 combos, neither determines the other.
+        result = tane(relation, max_lhs=1)
+        assert result.fds == []
+
+    def test_levels_and_candidates_reported(self, city_relation):
+        result = tane(city_relation, max_lhs=2)
+        assert result.levels_explored >= 2
+        assert result.candidates_checked > 0
+
+    def test_max_fds_early_stop(self, city_relation):
+        result = tane(city_relation, max_lhs=2, max_fds=1)
+        assert len(result.fds) == 1
+
+
+class TestApproximateTane:
+    def test_tolerates_noise(self, city_relation):
+        corrupted = city_relation.set_cell(0, "City", "gibbon")
+        exact = tane(corrupted, max_lhs=1, max_error=0.0)
+        approx = tane(corrupted, max_lhs=1, max_error=0.05)
+        assert FD(("PostalCode",), "City") not in set(exact.fds)
+        assert FD(("PostalCode",), "City") in set(approx.fds)
+
+    def test_overfits_with_loose_threshold(self):
+        """A loose g3 threshold admits dependencies that are artifacts
+        of skew, TANE's characteristic failure on noisy data (§8.1)."""
+        rows = (
+            [{"a": "x", "b": "1"}] * 45
+            + [{"a": "x", "b": "2"}] * 3
+            + [{"a": "y", "b": "1"}] * 45
+            + [{"a": "y", "b": "2"}] * 7
+        )
+        relation = Relation.from_rows(rows)
+        loose = tane(relation, max_lhs=1, max_error=0.2)
+        assert FD(("a",), "b") in set(loose.fds)
+        strict = tane(relation, max_lhs=1, max_error=0.01)
+        assert FD(("a",), "b") not in set(strict.fds)

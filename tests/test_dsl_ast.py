@@ -1,0 +1,125 @@
+"""Tests for repro.dsl.ast."""
+
+import pytest
+
+from repro.dsl import Branch, Condition, DslError, Program, Statement
+
+
+def branch(dep="City", lit="Berkeley", **atoms) -> Branch:
+    atoms = atoms or {"PostalCode": "94704"}
+    return Branch(Condition(tuple(atoms.items())), dep, lit)
+
+
+class TestCondition:
+    def test_atoms_sorted_canonically(self):
+        one = Condition((("b", 1), ("a", 2)))
+        two = Condition((("a", 2), ("b", 1)))
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_empty_condition_rejected(self):
+        with pytest.raises(DslError, match="at least one atom"):
+            Condition(())
+
+    def test_repeated_attribute_rejected(self):
+        with pytest.raises(DslError, match="repeats"):
+            Condition((("a", 1), ("a", 2)))
+
+    def test_of_constructor(self):
+        cond = Condition.of(city="Berkeley")
+        assert cond.attributes == ("city",)
+        assert cond.value_of("city") == "Berkeley"
+
+    def test_value_of_unknown_raises(self):
+        with pytest.raises(DslError, match="no atom"):
+            Condition.of(a=1).value_of("b")
+
+    def test_conjoin(self):
+        combined = Condition.of(a=1).conjoin(Condition.of(b=2))
+        assert combined.attributes == ("a", "b")
+
+    def test_conjoin_overlap_rejected(self):
+        with pytest.raises(DslError):
+            Condition.of(a=1).conjoin(Condition.of(a=2))
+
+
+class TestBranch:
+    def test_dependent_in_condition_rejected(self):
+        with pytest.raises(DslError, match="also appears"):
+            Branch(Condition.of(City="X"), "City", "Y")
+
+    def test_str_mentions_parts(self):
+        text = str(branch())
+        assert "IF" in text and "THEN" in text and "City" in text
+
+
+class TestStatement:
+    def test_valid_statement(self):
+        stmt = Statement(("PostalCode",), "City", (branch(),))
+        assert len(stmt) == 1
+        assert stmt.determinants == ("PostalCode",)
+
+    def test_determinants_sorted(self):
+        stmt = Statement(
+            ("b", "a"),
+            "c",
+            (Branch(Condition.of(a=1, b=2), "c", 3),),
+        )
+        assert stmt.determinants == ("a", "b")
+
+    def test_no_determinants_rejected(self):
+        with pytest.raises(DslError, match="at least one determinant"):
+            Statement((), "City", (branch(),))
+
+    def test_duplicate_determinants_rejected(self):
+        with pytest.raises(DslError, match="duplicate"):
+            Statement(("a", "a"), "c", (branch("c", 1, a=1),))
+
+    def test_dependent_among_determinants_rejected(self):
+        with pytest.raises(DslError, match="cannot be a determinant"):
+            Statement(("City",), "City", (branch(),))
+
+    def test_branch_on_wrong_dependent_rejected(self):
+        with pytest.raises(DslError, match="assigns"):
+            Statement(("PostalCode",), "State", (branch(),))
+
+    def test_branch_condition_must_match_determinants(self):
+        bad = Branch(Condition.of(Zip="1"), "City", "X")
+        with pytest.raises(DslError, match="determinants"):
+            Statement(("PostalCode",), "City", (bad,))
+
+    def test_duplicate_branch_conditions_rejected(self):
+        with pytest.raises(DslError, match="duplicate branch"):
+            Statement(
+                ("PostalCode",),
+                "City",
+                (branch(lit="A"), branch(lit="B")),
+            )
+
+
+class TestProgram:
+    def test_empty_program_falsy(self):
+        assert not Program.empty()
+        assert len(Program.empty()) == 0
+
+    def test_branches_flattened(self, city_program):
+        assert len(city_program.branches) == sum(
+            len(s) for s in city_program
+        )
+
+    def test_dependents(self, city_program):
+        assert city_program.dependents == ("City", "State", "Country")
+
+    def test_statement_for(self, city_program):
+        assert city_program.statement_for("State").dependent == "State"
+        assert city_program.statement_for("nope") is None
+
+    def test_attributes(self, city_program):
+        assert "PostalCode" in city_program.attributes()
+        assert "Country" in city_program.attributes()
+
+    def test_programs_hashable(self, city_program):
+        assert city_program in {city_program}
+
+    def test_str_of_empty(self):
+        assert "empty" in str(Program.empty())

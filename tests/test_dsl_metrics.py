@@ -1,0 +1,121 @@
+"""Tests for repro.dsl.metrics (loss, ε-validity, coverage)."""
+
+import pytest
+
+from repro.dsl import (
+    Branch,
+    Condition,
+    Program,
+    Statement,
+    branch_coverage,
+    branch_is_valid,
+    branch_loss,
+    branch_support,
+    program_coverage,
+    program_is_valid,
+    program_loss,
+    statement_coverage,
+    statement_is_valid,
+    statement_loss,
+)
+from repro.relation import Relation
+
+
+@pytest.fixture
+def noisy_relation() -> Relation:
+    """20 rows of a=x -> b=1, with 2 corrupted b cells."""
+    rows = [{"a": "x", "b": "1"} for _ in range(18)]
+    rows += [{"a": "x", "b": "bad"} for _ in range(2)]
+    rows += [{"a": "y", "b": "2"} for _ in range(10)]
+    return Relation.from_rows(rows)
+
+
+@pytest.fixture
+def x_branch() -> Branch:
+    return Branch(Condition.of(a="x"), "b", "1")
+
+
+@pytest.fixture
+def y_branch() -> Branch:
+    return Branch(Condition.of(a="y"), "b", "2")
+
+
+class TestBranchMetrics:
+    def test_loss_counts_mismatches(self, noisy_relation, x_branch):
+        assert branch_loss(x_branch, noisy_relation) == 2
+
+    def test_support_counts_condition_rows(self, noisy_relation, x_branch):
+        assert branch_support(x_branch, noisy_relation) == 20
+
+    def test_zero_loss_branch(self, noisy_relation, y_branch):
+        assert branch_loss(y_branch, noisy_relation) == 0
+
+    def test_epsilon_validity_boundary(self, noisy_relation, x_branch):
+        # loss=2, support=20: valid iff 2 <= 20ε, i.e. ε >= 0.1.
+        assert branch_is_valid(x_branch, noisy_relation, 0.1)
+        assert not branch_is_valid(x_branch, noisy_relation, 0.09)
+
+    def test_coverage_eqn5(self, noisy_relation, x_branch, y_branch):
+        assert branch_coverage(x_branch, noisy_relation) == pytest.approx(
+            20 / 30
+        )
+        assert branch_coverage(y_branch, noisy_relation) == pytest.approx(
+            10 / 30
+        )
+
+
+class TestStatementMetrics:
+    @pytest.fixture
+    def statement(self, x_branch, y_branch) -> Statement:
+        return Statement(("a",), "b", (x_branch, y_branch))
+
+    def test_statement_loss_sums_branches(self, noisy_relation, statement):
+        assert statement_loss(statement, noisy_relation) == 2
+
+    def test_statement_validity_requires_all_branches(
+        self, noisy_relation, statement
+    ):
+        assert statement_is_valid(statement, noisy_relation, 0.1)
+        assert not statement_is_valid(statement, noisy_relation, 0.05)
+
+    def test_statement_coverage_eqn6(self, noisy_relation, statement):
+        assert statement_coverage(statement, noisy_relation) == pytest.approx(
+            1.0
+        )
+
+
+class TestProgramMetrics:
+    def test_empty_program_zero_loss_zero_coverage(self, noisy_relation):
+        empty = Program.empty()
+        assert program_loss(empty, noisy_relation) == 0
+        assert program_coverage(empty, noisy_relation) == 0.0
+        assert program_is_valid(empty, noisy_relation, 0.0)
+
+    def test_program_coverage_averages_statements(
+        self, noisy_relation, x_branch, y_branch
+    ):
+        full = Statement(("a",), "b", (x_branch, y_branch))
+        partial = Statement(
+            ("b",),
+            "a",
+            (Branch(Condition.of(b="1"), "a", "x"),),
+        )
+        program = Program((full, partial))
+        expected = (1.0 + 18 / 30) / 2
+        assert program_coverage(program, noisy_relation) == pytest.approx(
+            expected
+        )
+
+    def test_ground_truth_program_is_valid(self, city_relation, city_program):
+        assert program_is_valid(city_program, city_relation, 0.0)
+        assert program_loss(city_program, city_relation) == 0
+        assert program_coverage(city_program, city_relation) == pytest.approx(
+            1.0
+        )
+
+    def test_corruption_breaks_zero_validity(self, city_relation, city_program):
+        corrupted = city_relation.set_cell(0, "City", "gibbon")
+        assert not program_is_valid(city_program, corrupted, 0.0)
+        # One corrupted City cell violates the City statement and the
+        # State statement is untouched (gibbon matches no condition).
+        assert program_loss(city_program, corrupted) == 1

@@ -1,0 +1,177 @@
+"""Tests for the DSL text syntax (parser + pretty printer)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import (
+    Branch,
+    Condition,
+    DslSyntaxError,
+    Program,
+    Statement,
+    format_literal,
+    format_program,
+    format_statement,
+    parse_program,
+    parse_statement,
+)
+
+
+class TestParsing:
+    def test_single_statement(self):
+        stmt = parse_statement(
+            "GIVEN rel ON marital HAVING "
+            "IF rel = 'Husband' THEN marital <- 'Married'"
+        )
+        assert stmt.determinants == ("rel",)
+        assert stmt.dependent == "marital"
+        assert stmt.branches[0].literal == "Married"
+
+    def test_multi_branch_statement(self):
+        stmt = parse_statement(
+            "GIVEN rel ON m HAVING "
+            "IF rel = 'Husband' THEN m <- 'Married'; "
+            "IF rel = 'Wife' THEN m <- 'Married'"
+        )
+        assert len(stmt.branches) == 2
+
+    def test_conjunction_condition(self):
+        stmt = parse_statement(
+            "GIVEN a, b ON c HAVING IF a = 1 AND b = 2 THEN c <- 3"
+        )
+        assert stmt.determinants == ("a", "b")
+        assert stmt.branches[0].condition.value_of("b") == 2
+
+    def test_multi_statement_program(self):
+        program = parse_program(
+            "GIVEN zip ON city HAVING IF zip = '94704' THEN city <- 'B';\n"
+            "GIVEN city ON state HAVING IF city = 'B' THEN state <- 'CA'"
+        )
+        assert len(program) == 2
+        assert program.dependents == ("city", "state")
+
+    def test_literal_types(self):
+        stmt = parse_statement(
+            "GIVEN a ON c HAVING IF a = TRUE THEN c <- 2.5"
+        )
+        assert stmt.branches[0].condition.value_of("a") is True
+        assert stmt.branches[0].literal == 2.5
+
+    def test_negative_number_literal(self):
+        stmt = parse_statement("GIVEN a ON c HAVING IF a = -3 THEN c <- -1")
+        assert stmt.branches[0].literal == -1
+
+    def test_bare_word_literal(self):
+        stmt = parse_statement(
+            "GIVEN a ON c HAVING IF a = Husband THEN c <- Married"
+        )
+        assert stmt.branches[0].literal == "Married"
+
+    def test_dashed_attribute_names(self):
+        stmt = parse_statement(
+            "GIVEN rel ON marital-status HAVING "
+            "IF rel = 'Wife' THEN marital-status <- 'Married'"
+        )
+        assert stmt.dependent == "marital-status"
+
+    def test_escaped_quote_in_string(self):
+        stmt = parse_statement(
+            r"GIVEN a ON c HAVING IF a = 'O\'Brien' THEN c <- 'x'"
+        )
+        assert stmt.branches[0].condition.value_of("a") == "O'Brien"
+
+    def test_empty_program(self):
+        assert parse_program("") == Program.empty()
+
+
+class TestErrors:
+    def test_wrong_branch_target(self):
+        with pytest.raises(DslSyntaxError, match="assigns"):
+            parse_statement("GIVEN a ON c HAVING IF a = 1 THEN d <- 2")
+
+    def test_missing_then(self):
+        with pytest.raises(DslSyntaxError, match="expected THEN"):
+            parse_statement("GIVEN a ON c HAVING IF a = 1 c <- 2")
+
+    def test_garbage_character(self):
+        with pytest.raises(DslSyntaxError, match="unexpected character"):
+            parse_program("GIVEN a ON c HAVING IF a = 1 THEN c <- @")
+
+    def test_trailing_content(self):
+        with pytest.raises(DslSyntaxError, match="trailing"):
+            parse_statement(
+                "GIVEN a ON c HAVING IF a = 1 THEN c <- 2 = ="
+            )
+
+
+class TestRoundTrip:
+    def test_city_program(self, city_program):
+        assert parse_program(format_program(city_program)) == city_program
+
+    def test_format_literal_special_cases(self):
+        assert format_literal(True) == "TRUE"
+        assert format_literal(None) == "NONE"
+        assert format_literal(2.0) == "2.0"
+        assert format_literal("a'b") == r"'a\'b'"
+
+    def test_format_statement_contains_keywords(self, city_program):
+        text = format_statement(city_program.statements[0])
+        assert text.startswith("GIVEN")
+        assert "HAVING" in text
+
+
+_literals = (
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127
+        ),
+        max_size=8,
+    )
+    | st.integers(-100, 100)
+    | st.booleans()
+)
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+
+@st.composite
+def programs(draw) -> Program:
+    n_statements = draw(st.integers(1, 3))
+    statements = []
+    used: set[str] = set()
+    for _ in range(n_statements):
+        available = [n for n in ["alpha", "beta", "gamma", "delta"]]
+        dependent = draw(st.sampled_from(available))
+        determinants = draw(
+            st.lists(
+                st.sampled_from([n for n in available if n != dependent]),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        n_branches = draw(st.integers(1, 3))
+        branches = []
+        seen_conditions = set()
+        for index in range(n_branches):
+            atoms = tuple(
+                (det, f"v{index}_{i}") for i, det in enumerate(determinants)
+            )
+            condition = Condition(atoms)
+            if condition in seen_conditions:
+                continue
+            seen_conditions.add(condition)
+            branches.append(
+                Branch(condition, dependent, draw(_literals))
+            )
+        statements.append(
+            Statement(tuple(determinants), dependent, tuple(branches))
+        )
+        used.add(dependent)
+    return Program(tuple(statements))
+
+
+@settings(max_examples=50)
+@given(programs())
+def test_parse_format_roundtrip_property(program):
+    assert parse_program(format_program(program)) == program

@@ -1,0 +1,139 @@
+"""Tests for repro.dsl.semantics (row and vectorized evaluation)."""
+
+import numpy as np
+
+from repro.dsl import (
+    Branch,
+    Condition,
+    Program,
+    Statement,
+    apply_branch,
+    apply_statement,
+    branch_masks,
+    branch_matches,
+    condition_holds,
+    condition_mask,
+    program_violations,
+    row_conforms,
+    run_program,
+    statement_coverage_mask,
+    statement_violations,
+)
+from repro.relation import Relation
+
+
+class TestRowSemantics:
+    def test_condition_holds(self):
+        cond = Condition.of(a="x", b="y")
+        assert condition_holds(cond, {"a": "x", "b": "y"})
+        assert not condition_holds(cond, {"a": "x", "b": "z"})
+        assert not condition_holds(cond, {"a": "x"})
+
+    def test_apply_branch_assigns(self):
+        b = Branch(Condition.of(a="x"), "c", "v")
+        assert apply_branch(b, {"a": "x", "c": "old"})["c"] == "v"
+
+    def test_apply_branch_noop_when_condition_fails(self):
+        b = Branch(Condition.of(a="x"), "c", "v")
+        row = {"a": "y", "c": "old"}
+        assert apply_branch(b, row) == row
+
+    def test_apply_statement_first_matching_branch(self):
+        stmt = Statement(
+            ("a",),
+            "c",
+            (
+                Branch(Condition.of(a="x"), "c", "one"),
+                Branch(Condition.of(a="y"), "c", "two"),
+            ),
+        )
+        assert apply_statement(stmt, {"a": "y", "c": "?"})["c"] == "two"
+
+    def test_run_program_threads_state(self, city_program):
+        # PostalCode decides City, which decides State, which decides
+        # Country — even starting from entirely wrong downstream values.
+        row = {
+            "PostalCode": "94704",
+            "City": "wrong",
+            "State": "wrong",
+            "Country": "wrong",
+        }
+        fixed = run_program(city_program, row)
+        assert fixed["City"] == "Berkeley"
+        assert fixed["State"] == "CA"
+        assert fixed["Country"] == "USA"
+
+    def test_row_conforms_eqn1(self, city_program):
+        good = {
+            "PostalCode": "10001",
+            "City": "NewYork",
+            "State": "NY",
+            "Country": "USA",
+        }
+        assert row_conforms(city_program, good)
+        corrupted = dict(good, City="gibbon")
+        assert not row_conforms(city_program, corrupted)
+
+    def test_branch_matches(self, city_program):
+        stmt = city_program.statement_for("City")
+        match = branch_matches(stmt, {"PostalCode": "73301"})
+        assert match is not None and match.literal == "Austin"
+        assert branch_matches(stmt, {"PostalCode": "00000"}) is None
+
+
+class TestVectorizedSemantics:
+    def test_condition_mask(self, city_relation):
+        mask = condition_mask(
+            Condition.of(PostalCode="94704"), city_relation
+        )
+        assert int(mask.sum()) == 10
+
+    def test_condition_mask_unseen_literal(self, city_relation):
+        mask = condition_mask(
+            Condition.of(PostalCode="99999"), city_relation
+        )
+        assert not mask.any()
+
+    def test_branch_masks_no_violations_on_clean(self, city_relation):
+        b = Branch(Condition.of(PostalCode="94704"), "City", "Berkeley")
+        applicable, violating = branch_masks(b, city_relation)
+        assert int(applicable.sum()) == 10
+        assert int(violating.sum()) == 0
+
+    def test_branch_masks_detect_corruption(self, city_relation):
+        corrupted = city_relation.set_cell(0, "City", "gibbon")
+        b = Branch(Condition.of(PostalCode="94704"), "City", "Berkeley")
+        _, violating = branch_masks(b, corrupted)
+        assert list(np.nonzero(violating)[0]) == [0]
+
+    def test_program_violations_match_row_semantics(
+        self, city_relation, city_program
+    ):
+        corrupted = city_relation.set_cell(5, "State", "XX")
+        mask = program_violations(city_program, corrupted)
+        for index in range(corrupted.n_rows):
+            assert mask[index] == (
+                not row_conforms(city_program, corrupted.row(index))
+            )
+
+    def test_statement_violations_subset_of_program(
+        self, city_relation, city_program
+    ):
+        corrupted = city_relation.set_cell(3, "City", "gibbon")
+        stmt = city_program.statement_for("City")
+        stmt_mask = statement_violations(stmt, corrupted)
+        prog_mask = program_violations(city_program, corrupted)
+        assert not np.any(stmt_mask & ~prog_mask)
+
+    def test_statement_coverage_mask_full(self, city_relation, city_program):
+        stmt = city_program.statement_for("Country")
+        mask = statement_coverage_mask(stmt, city_relation)
+        assert mask.all()
+
+    def test_missing_dependent_counts_as_violation(self, city_relation):
+        codes = city_relation.codes("City").copy()
+        codes[0] = -1  # missing
+        relation = city_relation.replace_codes("City", codes)
+        b = Branch(Condition.of(PostalCode="94704"), "City", "Berkeley")
+        _, violating = branch_masks(b, relation)
+        assert violating[0]

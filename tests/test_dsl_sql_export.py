@@ -1,0 +1,79 @@
+"""Tests for the DSL → SQL translation."""
+
+from repro.dsl import (
+    Branch,
+    Condition,
+    Program,
+    Statement,
+    check_constraints,
+    rectify_updates,
+    violations_query,
+)
+
+
+def make_program() -> Program:
+    statement = Statement(
+        ("rel",),
+        "marital",
+        (
+            Branch(Condition.of(rel="Husband"), "marital", "Married"),
+            Branch(Condition.of(rel="Wife"), "marital", "Married"),
+        ),
+    )
+    return Program((statement,))
+
+
+def test_violations_query_structure():
+    sql = violations_query(make_program(), "adult")
+    assert sql.startswith('SELECT * FROM "adult"')
+    assert '"rel" = \'Husband\'' in sql
+    assert '"marital" <> \'Married\'' in sql
+    assert " OR " in sql
+
+
+def test_violations_query_empty_program():
+    sql = violations_query(Program.empty(), "t")
+    assert "WHERE FALSE" in sql
+
+
+def test_check_constraints_one_per_statement():
+    clauses = check_constraints(make_program())
+    assert len(clauses) == 1
+    assert clauses[0].startswith("CHECK (NOT (")
+
+
+def test_rectify_updates_one_per_branch():
+    updates = rectify_updates(make_program(), "adult")
+    assert len(updates) == 2
+    assert all(u.startswith('UPDATE "adult" SET') for u in updates)
+    assert all(u.rstrip().endswith(";") for u in updates)
+
+
+def test_sql_literal_escaping():
+    program = Program(
+        (
+            Statement(
+                ("a",),
+                "b",
+                (Branch(Condition.of(a="O'Brien"), "b", True),),
+            ),
+        )
+    )
+    sql = violations_query(program, "t")
+    assert "O''Brien" in sql
+    assert "TRUE" in sql
+
+
+def test_numeric_and_null_literals():
+    program = Program(
+        (
+            Statement(
+                ("a",),
+                "b",
+                (Branch(Condition.of(a=3), "b", None),),
+            ),
+        )
+    )
+    sql = violations_query(program, "t")
+    assert '"a" = 3' in sql
+    assert "NULL" in sql

@@ -1,0 +1,99 @@
+"""Tests for the error injector (§8 setup)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import inject_errors, resolve_error_count
+
+
+class TestResolveErrorCount:
+    def test_one_percent_of_large_dataset(self):
+        assert resolve_error_count(10000, 0.01) == 100
+
+    def test_small_dataset_bumped_and_capped(self):
+        # 1% of 1000 rows = 10 < 30: bumped to 30 (cap).
+        assert resolve_error_count(1000, 0.01) == 30
+
+    def test_tiny_dataset_capped_by_tenth(self):
+        assert resolve_error_count(100, 0.01) == 10
+
+    def test_zero_rows(self):
+        assert resolve_error_count(0) == 0
+
+    def test_never_exceeds_rows(self):
+        assert resolve_error_count(5, 0.01) <= 5
+
+
+class TestInjectErrors:
+    def test_reports_ground_truth(self, city_relation, rng):
+        report = inject_errors(city_relation, rate=0.1, rng=rng)
+        assert report.n_errors == len(report.errors)
+        assert report.row_mask.sum() == len(report.error_rows())
+        for error in report.errors:
+            assert (
+                report.relation.value(error.row, error.attribute)
+                == error.corrupted
+            )
+            assert (
+                city_relation.value(error.row, error.attribute)
+                == error.original
+            )
+            assert error.corrupted != error.original
+
+    def test_original_untouched(self, city_relation, rng):
+        before = city_relation.to_rows()
+        inject_errors(city_relation, rate=0.2, rng=rng)
+        assert city_relation.to_rows() == before
+
+    def test_explicit_count(self, city_relation, rng):
+        report = inject_errors(city_relation, n_errors=7, rng=rng)
+        assert report.n_errors == 7
+
+    def test_one_error_per_row(self, city_relation, rng):
+        report = inject_errors(city_relation, n_errors=20, rng=rng)
+        assert len(report.error_rows()) == 20
+
+    def test_attribute_restriction(self, city_relation, rng):
+        report = inject_errors(
+            city_relation, n_errors=10, attributes=["City"], rng=rng
+        )
+        assert {e.attribute for e in report.errors} == {"City"}
+
+    def test_garbage_values_are_out_of_domain(self, city_relation, rng):
+        report = inject_errors(
+            city_relation, n_errors=30, garbage_fraction=1.0, rng=rng
+        )
+        original_domain = set(city_relation.unique("City"))
+        for error in report.errors:
+            if error.attribute == "City":
+                assert error.corrupted not in original_domain
+
+    def test_in_domain_swaps(self, city_relation, rng):
+        report = inject_errors(
+            city_relation, n_errors=30, garbage_fraction=0.0, rng=rng
+        )
+        for error in report.errors:
+            domain = set(city_relation.unique(error.attribute))
+            if len(domain) > 1:
+                assert error.corrupted in domain
+            else:
+                # Single-value domains cannot be swapped in-domain; the
+                # injector falls back to a garbage value.
+                assert error.corrupted not in domain
+
+    def test_no_categorical_attributes_raises(self, rng):
+        from repro.relation import Attribute, AttributeType, Relation, Schema
+
+        schema = Schema([Attribute("v", AttributeType.NUMERIC)])
+        relation = Relation.from_rows([{"v": 1.0}], schema=schema)
+        with pytest.raises(ValueError, match="categorical"):
+            inject_errors(relation, rng=rng)
+
+    def test_deterministic_under_seed(self, city_relation):
+        one = inject_errors(
+            city_relation, n_errors=5, rng=np.random.default_rng(9)
+        )
+        two = inject_errors(
+            city_relation, n_errors=5, rng=np.random.default_rng(9)
+        )
+        assert one.errors == two.errors

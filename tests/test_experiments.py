@@ -1,0 +1,154 @@
+"""Smoke tests for the experiment runners (tiny scale).
+
+Each runner must execute end-to-end and produce sane, printable output;
+the benchmarks run the real workloads.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    average_reduction,
+    clause_counts,
+    error_mispred_correlation,
+    format_clauses,
+    format_figure6,
+    format_figure7,
+    format_scaling,
+    format_table,
+    format_table1,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    format_table7,
+    format_table8,
+    normalized_series,
+    prepare,
+    run_detection,
+    run_epsilon_sweep,
+    run_mispred,
+    run_overhead,
+    run_queries,
+    run_sampler_ablation,
+    run_searchspace,
+    run_timing,
+    scaling_study,
+    wins,
+)
+
+
+@pytest.fixture(scope="module")
+def context() -> ExperimentContext:
+    return ExperimentContext(scale_rows=400, seed=11)
+
+
+@pytest.fixture(scope="module")
+def prepared(context):
+    return prepare(6, context)
+
+
+class TestHarness:
+    def test_prepare_splits_and_injects(self, prepared, context):
+        assert prepared.train.n_rows + prepared.test_clean.n_rows == 400
+        assert prepared.injection.n_errors > 0
+        assert prepared.train_injection.n_errors > 0
+        diff = prepared.test_clean.rows_differ(prepared.test_dirty)
+        assert diff.sum() == len(prepared.injection.error_rows())
+
+    def test_constrained_only_restricts_attributes(self, context):
+        constrained = prepare(6, context, constrained_only=True)
+        dag = constrained.dataset.ground_truth_dag()
+        roots = {n for n in dag.nodes if not dag.parents(n)}
+        assert not any(
+            e.attribute in roots for e in constrained.injection.errors
+        )
+
+    def test_scale_rows_cap(self, context):
+        assert context.rows_for(prepare(6, context).spec) == 400
+
+    def test_format_table_handles_nan_and_none(self):
+        text = format_table(["a", "b"], [[float("nan"), None]])
+        assert "NaN" in text and "-" in text
+
+
+class TestRunners:
+    def test_detection(self, context, prepared):
+        row = run_detection(6, context, prepared=prepared)
+        assert row.dataset_id == 6
+        text = format_table3([row])
+        assert "Guardrail" in text
+        assert wins([row]) in (0, 1, 2)
+
+    def test_mispred(self, context, prepared):
+        row = run_mispred(6, context, prepared=prepared)
+        assert row.n_errors == prepared.injection.n_errors
+        assert row.n_detected >= 0
+        assert format_table1([row])
+        assert format_table5([row])
+
+    def test_spearman_needs_three_rows(self, context, prepared):
+        rows = [
+            run_mispred(6, context, prepared=prepared),
+            run_mispred(4, context),
+            run_mispred(2, context),
+        ]
+        result = error_mispred_correlation(rows)
+        assert math.isnan(result.coefficient) or (
+            -1.0 <= result.coefficient <= 1.0
+        )
+
+    def test_timing(self, context, prepared):
+        row = run_timing(6, context, prepared=prepared)
+        assert row.total_seconds > 0
+        assert format_table4([row])
+
+    def test_overhead(self, context, prepared):
+        row = run_overhead(6, context, prepared=prepared)
+        assert row.guardrail_seconds >= 0
+        assert row.inference_seconds > 0
+        assert format_table6([row])
+
+    def test_searchspace(self, context, prepared):
+        row = run_searchspace(6, context, prepared=prepared)
+        assert row.n_dags_with_mec >= 0
+        assert row.n_dags_without_mec == "543"
+        assert format_table7([row])
+
+    def test_sampler_ablation(self, context, prepared):
+        row = run_sampler_ablation(6, context, prepared=prepared)
+        assert 0.0 <= row.coverage_identity <= 1.0
+        assert 0.0 <= row.coverage_auxiliary <= 1.0
+        assert format_table8([row])
+
+    def test_queries(self, context):
+        rows = run_queries(6, context)
+        assert len(rows) == 4
+        mean, std = average_reduction(rows)
+        assert -1.0 <= mean <= 1.0
+        dirty, rectified = normalized_series(rows)
+        assert len(dirty) == len(rectified) == 4
+        assert format_figure6(rows)
+
+    def test_epsilon_sweep(self, context, prepared):
+        points = run_epsilon_sweep(
+            6, context, epsilons=(0.0, 0.1), prepared=prepared
+        )
+        assert len(points) == 2
+        assert points[0].epsilon == 0.0
+        assert format_figure7(points)
+
+    def test_optsmt_clauses(self, context):
+        rows = clause_counts(context, dataset_ids=[6])
+        assert rows[0].n_clauses > 0
+        assert format_clauses(rows)
+
+    def test_optsmt_scaling(self, context, prepared):
+        rows = scaling_study(
+            context, dataset_key=6, widths=(3,), time_limit=5.0,
+            prepared=prepared,
+        )
+        assert rows[0].n_attributes == 3
+        assert format_scaling(rows)

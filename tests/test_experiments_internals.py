@@ -1,0 +1,92 @@
+"""Unit tests for experiment-runner internals."""
+
+import math
+
+import pytest
+
+from repro.experiments.queries import (
+    QueryErrorRow,
+    _result_vector,
+    average_reduction,
+    normalized_series,
+)
+from repro.sql import QueryResult
+
+
+class TestResultVectorAlignment:
+    def test_identical_results(self):
+        a = QueryResult(["g", "n"], [("x", 10), ("y", 5)])
+        observed, truth = _result_vector(a, a)
+        assert observed == truth
+
+    def test_value_difference(self):
+        truth = QueryResult(["g", "n"], [("x", 10), ("y", 5)])
+        dirty = QueryResult(["g", "n"], [("x", 8), ("y", 5)])
+        observed, reference = _result_vector(truth, dirty)
+        assert sum(abs(a - b) for a, b in zip(observed, reference)) == 2
+
+    def test_missing_group_counts_as_zero(self):
+        truth = QueryResult(["g", "n"], [("x", 10), ("y", 5)])
+        dirty = QueryResult(["g", "n"], [("x", 10)])
+        observed, reference = _result_vector(truth, dirty)
+        assert sum(abs(a - b) for a, b in zip(observed, reference)) == 5
+
+    def test_extra_group_counts_as_error(self):
+        truth = QueryResult(["g", "n"], [("x", 10)])
+        dirty = QueryResult(["g", "n"], [("x", 10), ("z", 3)])
+        observed, reference = _result_vector(truth, dirty)
+        assert sum(abs(a - b) for a, b in zip(observed, reference)) == 3
+
+    def test_multiple_numeric_columns(self):
+        truth = QueryResult(["g", "n", "avg"], [("x", 10, 0.5)])
+        dirty = QueryResult(["g", "n", "avg"], [("x", 12, 0.25)])
+        observed, reference = _result_vector(truth, dirty)
+        assert len(observed) == 2
+
+    def test_booleans_are_keys_not_values(self):
+        truth = QueryResult(["flag", "n"], [(True, 4), (False, 6)])
+        dirty = QueryResult(["flag", "n"], [(True, 4), (False, 6)])
+        observed, reference = _result_vector(truth, dirty)
+        assert observed == [4.0, 6.0] or sorted(observed) == [4.0, 6.0]
+
+
+def make_row(dirty: float, rectified: float, index: int = 1) -> QueryErrorRow:
+    return QueryErrorRow(
+        dataset_id=1, query_index=index, sql="SELECT 1",
+        error_dirty=dirty, error_rectified=rectified,
+    )
+
+
+class TestReductionAggregation:
+    def test_full_repair(self):
+        mean, std = average_reduction([make_row(0.5, 0.0)])
+        assert mean == 1.0 and std == 0.0
+
+    def test_no_repair(self):
+        mean, _ = average_reduction([make_row(0.5, 0.5)])
+        assert mean == 0.0
+
+    def test_regression_capped_at_minus_one(self):
+        mean, _ = average_reduction([make_row(0.01, 10.0)])
+        assert mean == -1.0
+
+    def test_untouched_query_counts_as_preserved(self):
+        mean, _ = average_reduction([make_row(0.0, 0.0)])
+        assert mean == 1.0
+
+    def test_zero_dirty_but_worse_rectified(self):
+        mean, _ = average_reduction([make_row(0.0, 0.3)])
+        assert mean == 0.0
+
+    def test_normalized_series_joint_scaling(self):
+        rows = [make_row(1.0, 0.0), make_row(0.5, 0.25)]
+        dirty, rectified = normalized_series(rows)
+        assert max(dirty) == 1.0
+        assert min(rectified) == 0.0
+        assert all(0.0 <= v <= 1.0 for v in dirty + rectified)
+
+    def test_reduction_property(self):
+        row = make_row(0.4, 0.1)
+        assert row.reduction == pytest.approx(0.75)
+        assert make_row(0.0, 0.0).reduction is None
+        assert row.name == "D1-Q1"

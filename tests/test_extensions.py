@@ -1,0 +1,138 @@
+"""Tests for the extensions: conformance constraints and factorized MEC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ConformanceGuard
+from repro.pgm import (
+    DAG,
+    cpdag_from_dag,
+    mec_size,
+    mec_size_factorized,
+    undirected_components,
+)
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+
+@pytest.fixture
+def numeric_relation(rng) -> Relation:
+    n = 400
+    x = rng.normal(50, 10, n)
+    y = 3 * x + rng.normal(0, 0.5, n)  # tightly linear in x
+    z = rng.normal(0, 1, n)            # independent
+    schema = Schema(
+        [
+            Attribute("x", AttributeType.NUMERIC),
+            Attribute("y", AttributeType.NUMERIC),
+            Attribute("z", AttributeType.NUMERIC),
+            Attribute("label"),
+        ]
+    )
+    rows = [
+        {"x": float(a), "y": float(b), "z": float(c), "label": "L"}
+        for a, b, c in zip(x, y, z)
+    ]
+    return Relation.from_rows(rows, schema=schema)
+
+
+class TestConformanceGuard:
+    def test_learns_ranges_and_linear(self, numeric_relation):
+        guard = ConformanceGuard().fit(numeric_relation)
+        assert len(guard.ranges) == 3
+        assert any(
+            {c.x, c.y} == {"x", "y"} for c in guard.linears
+        )
+        assert not any(
+            {c.x, c.y} == {"x", "z"} for c in guard.linears
+        )
+
+    def test_clean_data_passes(self, numeric_relation):
+        guard = ConformanceGuard().fit(numeric_relation)
+        assert guard.check(numeric_relation).mean() < 0.02
+
+    def test_out_of_range_flagged(self, numeric_relation):
+        guard = ConformanceGuard().fit(numeric_relation)
+        corrupted = numeric_relation.set_cell(0, "x", 10_000.0)
+        assert guard.check(corrupted)[0]
+
+    def test_jointly_impossible_value_flagged(self, numeric_relation):
+        """x and y each in range, but the pair breaks the linear law."""
+        guard = ConformanceGuard().fit(numeric_relation)
+        x0 = numeric_relation.value(0, "x")
+        # y in its own range but far from 3*x0.
+        corrupted = numeric_relation.set_cell(0, "y", float(3 * x0 - 40))
+        x_range = next(c for c in guard.ranges if c.column == "y")
+        assert x_range.low <= 3 * x0 - 40 <= x_range.high
+        assert guard.check(corrupted)[0]
+
+    def test_nan_never_violates(self, numeric_relation):
+        guard = ConformanceGuard().fit(numeric_relation)
+        with_nan = numeric_relation.set_cell(0, "x", None)
+        assert not guard.check(with_nan)[0]
+
+    def test_describe(self, numeric_relation):
+        guard = ConformanceGuard().fit(numeric_relation)
+        text = guard.describe()
+        assert "range" in text and "linear" in text
+
+    def test_no_numeric_columns(self):
+        relation = Relation.from_rows([{"a": "x"}] * 20)
+        guard = ConformanceGuard().fit(relation)
+        assert guard.n_constraints == 0
+        assert not guard.check(relation).any()
+
+    def test_robust_to_training_outliers(self, numeric_relation):
+        polluted = numeric_relation.set_cell(0, "z", 1e9)
+        guard = ConformanceGuard().fit(polluted)
+        z_range = next(c for c in guard.ranges if c.column == "z")
+        assert z_range.high < 1e6  # the outlier did not widen the fence
+
+
+class TestFactorizedMec:
+    def test_components_of_disjoint_chains(self):
+        dag = DAG(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("c", "d")],
+        )
+        cpdag = cpdag_from_dag(dag)
+        components = undirected_components(cpdag)
+        assert sorted(sorted(c) for c in components) == [
+            ["a", "b"], ["c", "d"],
+        ]
+
+    def test_factorized_size_matches_enumeration(self):
+        dag = DAG(
+            ["a", "b", "c", "d", "e"],
+            [("a", "b"), ("b", "c"), ("d", "e")],
+        )
+        cpdag = cpdag_from_dag(dag)
+        assert mec_size_factorized(cpdag) == mec_size(cpdag)
+        assert mec_size_factorized(cpdag) == 3 * 2
+
+    def test_fully_directed_class(self):
+        collider = DAG(["a", "b", "c"], [("a", "b"), ("c", "b")])
+        cpdag = cpdag_from_dag(collider)
+        assert mec_size_factorized(cpdag) == 1
+
+
+def _dag_from_bits(node_count: int, edge_bits: int) -> DAG:
+    names = [f"n{i}" for i in range(node_count)]
+    edges = []
+    bit = 0
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if edge_bits >> bit & 1:
+                edges.append((names[i], names[j]))
+            bit += 1
+    return DAG(names, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(node_count=st.integers(2, 6), edge_bits=st.integers(0, 2**15 - 1))
+def test_factorized_size_property(node_count, edge_bits):
+    """Factorized counting equals direct enumeration on random DAGs."""
+    dag = _dag_from_bits(node_count, edge_bits)
+    cpdag = cpdag_from_dag(dag)
+    assert mec_size_factorized(cpdag) == mec_size(cpdag)

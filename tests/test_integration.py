@@ -1,0 +1,149 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These mirror the paper's two headline flows:
+
+1. synthesize constraints from noisy data, detect and rectify injected
+   errors (RQ1), and
+2. guard an ML-integrated SQL query so its result matches the clean-data
+   result despite corrupted inputs (RQ2 / the appendix-F case study).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl import format_program, parse_program, program_is_valid
+from repro.errors import inject_errors
+from repro.ml import NaiveBayes
+from repro.pgm import DAG, random_sem, sem_to_program
+from repro.sql import QueryExecutor
+from repro.synth import Guardrail, GuardrailConfig, synthesize
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A five-attribute DGP with a chain, a collider, and a root."""
+    rng = np.random.default_rng(77)
+    dag = DAG(
+        ["season", "region", "crop", "yield_band", "price_band"],
+        [
+            ("season", "crop"),
+            ("region", "crop"),
+            ("crop", "yield_band"),
+            ("yield_band", "price_band"),
+        ],
+    )
+    sem = random_sem(
+        dag,
+        cardinalities={
+            "season": 4,
+            "region": 3,
+            "crop": 4,
+            "yield_band": 3,
+            "price_band": 3,
+        },
+        determinism=0.995,
+        unconstrained_fraction=0.2,
+        rng=rng,
+    )
+    relation = sem.sample(4000, rng)
+    train, test = relation.split(0.6, rng)
+    return dag, sem, train, test
+
+
+def test_synthesis_detection_rectification_roundtrip(world):
+    dag, sem, train, test = world
+    rng = np.random.default_rng(3)
+
+    guard = Guardrail(
+        GuardrailConfig(epsilon=0.03, min_support=3, seed=1)
+    ).fit(train)
+    assert guard.program, "synthesis produced an empty program"
+
+    # Learned determinant sets must be subsets of true ancestors-ish
+    # structure: no statement may condition on the DGP's downstream.
+    order = dag.topological_order()
+    report = inject_errors(
+        test,
+        n_errors=40,
+        attributes=[n for n in dag.nodes if dag.parents(n)],
+        rng=rng,
+    )
+    flagged = guard.check(report.relation)
+    truth = report.row_mask
+    # Detection must be much better than random guessing.
+    detected = int((flagged & truth).sum())
+    assert detected >= 10
+
+    repaired = guard.rectify(report.relation)
+    before = int(test.rows_differ(report.relation).sum())
+    after = int(test.rows_differ(repaired).sum())
+    assert after < before  # rectification moved the data toward clean
+
+
+def test_program_text_roundtrip_after_synthesis(world):
+    _, _, train, _ = world
+    result = synthesize(train, GuardrailConfig(epsilon=0.03, seed=2))
+    text = format_program(result.program)
+    assert parse_program(text) == result.program
+
+
+def test_oracle_program_subsumes_synthesized_claims(world):
+    """Every synthesized statement's ε-validity must hold on fresh data
+    from the same DGP (no overfitting to the training split)."""
+    dag, sem, train, _ = world
+    rng = np.random.default_rng(9)
+    fresh = sem.sample(3000, rng)
+    result = synthesize(train, GuardrailConfig(epsilon=0.03, seed=2))
+    assert program_is_valid(result.program, fresh, 0.10)
+
+
+def test_guarded_query_matches_clean_result(world):
+    dag, sem, train, test = world
+    rng = np.random.default_rng(5)
+    model = NaiveBayes().fit(train, "price_band")
+
+    # Heavy in-domain corruption of the model's constraint-covered
+    # inputs, so the dirty query result visibly deviates.
+    report = inject_errors(
+        test,
+        n_errors=250,
+        attributes=["crop", "yield_band"],
+        garbage_fraction=0.0,
+        rng=rng,
+    )
+    guard = Guardrail(
+        GuardrailConfig(epsilon=0.03, min_support=3, seed=1)
+    ).fit(train)
+
+    sql = (
+        "SELECT PREDICT(m) AS pred, COUNT(*) AS n "
+        "FROM t GROUP BY pred ORDER BY pred"
+    )
+    clean = QueryExecutor({"t": test}, {"m": model}).execute(sql)
+    dirty = QueryExecutor({"t": report.relation}, {"m": model}).execute(sql)
+    guarded = QueryExecutor(
+        {"t": report.relation}, {"m": model},
+        guardrail=guard, strategy="rectify",
+    ).execute(sql)
+
+    def distance(result):
+        reference = dict(clean.rows)
+        observed = dict(result.rows)
+        keys = set(reference) | set(observed)
+        return sum(
+            abs(reference.get(k, 0) - observed.get(k, 0)) for k in keys
+        )
+
+    assert distance(guarded) <= distance(dirty)
+
+
+def test_sem_oracle_agrees_with_synthesis_targets(world):
+    """The synthesized program's statements point at true non-roots."""
+    dag, sem, train, _ = world
+    result = synthesize(
+        train, GuardrailConfig(epsilon=0.03, min_support=3, seed=2)
+    )
+    oracle = sem_to_program(sem, train)
+    oracle_dependents = set(oracle.dependents)
+    overlap = set(result.program.dependents) & oracle_dependents
+    assert overlap, "no synthesized statement matches the DGP"

@@ -1,0 +1,145 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    confusion,
+    f1_from_masks,
+    f1_score,
+    mcc_from_masks,
+    mcc_score,
+    min_max_normalize,
+    precision,
+    recall,
+    relative_error,
+    spearman,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        counts = confusion(predicted, actual)
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (1, 1, 1, 1)
+        assert counts.total == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion(np.array([True]), np.array([True, False]))
+
+
+class TestScores:
+    def test_perfect_prediction(self):
+        mask = np.array([True, False, True])
+        assert f1_from_masks(mask, mask) == 1.0
+        assert mcc_from_masks(mask, mask) == 1.0
+
+    def test_inverted_prediction(self):
+        actual = np.array([True, False, True, False])
+        assert mcc_from_masks(~actual, actual) == -1.0
+
+    def test_all_negative_prediction_nan(self):
+        actual = np.array([True, False])
+        predicted = np.array([False, False])
+        counts = confusion(predicted, actual)
+        assert math.isnan(precision(counts))
+        assert math.isnan(mcc_score(counts))
+        assert f1_score(counts) == 0.0
+
+    def test_no_positives_anywhere_nan_f1(self):
+        counts = confusion(
+            np.array([False, False]), np.array([False, False])
+        )
+        assert math.isnan(f1_score(counts))
+
+    def test_known_values(self):
+        # tp=8 fp=2 fn=4 tn=6
+        predicted = np.array([True] * 10 + [False] * 10)
+        actual = np.array(
+            [True] * 8 + [False] * 2 + [True] * 4 + [False] * 6
+        )
+        counts = confusion(predicted, actual)
+        assert precision(counts) == pytest.approx(0.8)
+        assert recall(counts) == pytest.approx(8 / 12)
+        assert f1_score(counts) == pytest.approx(2 * 8 / (2 * 8 + 2 + 4))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        result = spearman([1, 2, 3, 4, 5], [10, 20, 30, 40, 50])
+        assert result.coefficient == pytest.approx(1.0)
+        assert result.p_value == 0.0
+
+    def test_perfect_inverse(self):
+        result = spearman([1, 2, 3, 4], [4, 3, 2, 1])
+        assert result.coefficient == pytest.approx(-1.0)
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats
+
+        x = rng.random(40)
+        y = x + rng.random(40)
+        ours = spearman(x, y)
+        theirs = stats.spearmanr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_ties_handled(self):
+        result = spearman([1, 1, 2, 2, 3], [1, 2, 2, 3, 3])
+        assert -1.0 <= result.coefficient <= 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2, 3], [1, 2])
+
+    def test_constant_input_nan(self):
+        result = spearman([1, 1, 1], [1, 2, 3])
+        assert math.isnan(result.coefficient)
+
+
+class TestRelativeError:
+    def test_zero_when_equal(self):
+        assert relative_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_l1_normalization(self):
+        assert relative_error([2.0, 2.0], [1.0, 3.0]) == pytest.approx(
+            2 / 4
+        )
+
+    def test_zero_norm_truth(self):
+        assert relative_error([0.0], [0.0]) == 0.0
+        assert relative_error([1.0], [0.0]) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error([1.0], [1.0, 2.0])
+
+
+class TestMinMaxNormalize:
+    def test_scales_to_unit_interval(self):
+        out = min_max_normalize([2.0, 4.0, 6.0])
+        assert out == [0.0, 0.5, 1.0]
+
+    def test_constant_vector(self):
+        assert min_max_normalize([3.0, 3.0]) == [0.0, 0.0]
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=50),
+    st.lists(st.booleans(), min_size=1, max_size=50),
+)
+def test_mcc_bounded(a, b):
+    n = min(len(a), len(b))
+    value = mcc_from_masks(np.array(a[:n]), np.array(b[:n]))
+    assert math.isnan(value) or -1.0 <= value <= 1.0

@@ -1,0 +1,171 @@
+"""Tests for the ML substrate classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AutoModel,
+    Classifier,
+    DecisionTree,
+    LogisticRegression,
+    MajorityClass,
+    ModelError,
+    NaiveBayes,
+)
+from repro.pgm import DAG, random_sem
+from repro.relation import Relation
+
+
+@pytest.fixture
+def dataset(rng):
+    dag = DAG(["x1", "x2", "y"], [("x1", "y"), ("x2", "y")])
+    sem = random_sem(dag, 3, determinism=0.95, rng=rng)
+    relation = sem.sample(3000, rng)
+    train, test = relation.split(0.7, rng)
+    return train, test
+
+
+ALL_MODELS = [NaiveBayes, DecisionTree, LogisticRegression, MajorityClass]
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+class TestCommonBehaviour:
+    def test_beats_or_matches_chance(self, model_cls, dataset):
+        train, test = dataset
+        model = model_cls().fit(train, "y")
+        accuracy = model.accuracy(test)
+        assert accuracy >= 1 / 3 - 0.05
+
+    def test_predict_values_decoded(self, model_cls, dataset):
+        train, test = dataset
+        model = model_cls().fit(train, "y")
+        values = model.predict_values(test.head(5))
+        assert len(values) == 5
+        assert all(v.startswith("y=") for v in values)
+
+    def test_unseen_value_handled(self, model_cls, dataset):
+        train, test = dataset
+        model = model_cls().fit(train, "y")
+        weird = test.set_cell(0, "x1", "never-seen-value")
+        predictions = model.predict(weird)
+        assert predictions.shape == (test.n_rows,)
+
+    def test_unfitted_predict_raises(self, model_cls, dataset):
+        _, test = dataset
+        with pytest.raises(ModelError):
+            model_cls().predict(test)
+
+
+class TestLearnedModels:
+    @pytest.mark.parametrize(
+        "model_cls", [NaiveBayes, DecisionTree, LogisticRegression]
+    )
+    def test_clearly_beats_majority(self, model_cls, dataset):
+        train, test = dataset
+        model = model_cls().fit(train, "y")
+        majority = MajorityClass().fit(train, "y")
+        assert model.accuracy(test) > majority.accuracy(test) + 0.05
+
+
+class TestFitValidation:
+    def test_unknown_target(self, dataset):
+        train, _ = dataset
+        with pytest.raises(ModelError, match="unknown target"):
+            NaiveBayes().fit(train, "nope")
+
+    def test_target_as_feature_rejected(self, dataset):
+        train, _ = dataset
+        with pytest.raises(ModelError, match="cannot be a feature"):
+            NaiveBayes().fit(train, "y", ["y", "x1"])
+
+    def test_explicit_feature_subset(self, dataset):
+        train, test = dataset
+        model = NaiveBayes().fit(train, "y", ["x1"])
+        assert model.features == ["x1"]
+        assert model.accuracy(test) > 0.3
+
+
+class TestNaiveBayes:
+    def test_proba_sums_to_one(self, dataset):
+        train, test = dataset
+        model = NaiveBayes().fit(train, "y")
+        proba = model.predict_proba(test.head(10))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ModelError):
+            NaiveBayes(smoothing=0.0)
+
+
+class TestDecisionTree:
+    def test_depth_respected(self, dataset):
+        train, _ = dataset
+        model = DecisionTree(max_depth=2).fit(train, "y")
+        assert model.depth() <= 2
+
+    def test_pure_leaf_short_circuit(self):
+        relation = Relation.from_rows(
+            [{"x": "a", "y": "only"}] * 20
+        )
+        model = DecisionTree().fit(relation, "y")
+        assert model.n_nodes == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ModelError):
+            DecisionTree(max_depth=0)
+
+
+class TestAutoModel:
+    def test_leaderboard_sorted(self, dataset):
+        train, test = dataset
+        model = AutoModel().fit(train, "y")
+        board = model.leaderboard()
+        assert len(board) == 4
+        scores = [s for _, s in board]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_at_least_as_good_as_majority(self, dataset):
+        train, test = dataset
+        auto = AutoModel().fit(train, "y")
+        majority = MajorityClass().fit(train, "y")
+        assert auto.accuracy(test) >= majority.accuracy(test) - 0.02
+
+    def test_custom_members(self, dataset):
+        train, test = dataset
+        auto = AutoModel(members=[MajorityClass()]).fit(train, "y")
+        assert len(auto.members) == 1
+
+    def test_too_few_rows_rejected(self):
+        relation = Relation.from_rows([{"x": "a", "y": "b"}] * 5)
+        with pytest.raises(ModelError, match="at least 10"):
+            AutoModel().fit(relation, "y")
+
+    def test_unfitted_predict_raises(self, dataset):
+        _, test = dataset
+        with pytest.raises(ModelError):
+            AutoModel().predict(test)
+
+
+class TestTrainHarness:
+    def test_train_model(self, dataset):
+        from repro.ml import train_model
+
+        train, test = dataset
+        trained = train_model(train, test, "y")
+        assert 0.0 <= trained.test_accuracy <= 1.0
+        assert trained.target == "y"
+
+    def test_error_induced_flips(self, dataset, rng):
+        from repro.errors import inject_errors
+        from repro.ml import mispredictions_caused_by_errors
+
+        train, test = dataset
+        model = NaiveBayes().fit(train, "y")
+        report = inject_errors(
+            test, n_errors=50, attributes=["x1", "x2"], rng=rng
+        )
+        flips = mispredictions_caused_by_errors(
+            model, test, report.relation
+        )
+        # Flips only happen on corrupted rows.
+        assert set(np.nonzero(flips)[0]) <= report.error_rows()

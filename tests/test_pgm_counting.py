@@ -1,0 +1,65 @@
+"""Tests for DAG counting (Robinson's recurrence)."""
+
+import pytest
+
+from repro.pgm import count_dags, count_dags_scientific
+
+
+# OEIS A003024: 1, 1, 3, 25, 543, 29281, 3781503
+KNOWN = {0: 1, 1: 1, 2: 3, 3: 25, 4: 543, 5: 29281, 6: 3781503}
+
+
+@pytest.mark.parametrize("n,expected", sorted(KNOWN.items()))
+def test_known_values(n, expected):
+    assert count_dags(n) == expected
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        count_dags(-1)
+
+
+def test_matches_brute_force_enumeration():
+    """Count all acyclic orientation patterns on 3 nodes explicitly."""
+    from repro.pgm import DAG
+
+    names = ["a", "b", "c"]
+    pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+    count = 0
+    for mask in range(3**3):
+        edges = []
+        m = mask
+        ok = True
+        for u, v in pairs:
+            state = m % 3
+            m //= 3
+            if state == 1:
+                edges.append((u, v))
+            elif state == 2:
+                edges.append((v, u))
+        try:
+            DAG(names, edges)
+        except Exception:
+            ok = False
+        if ok:
+            count += 1
+    assert count == count_dags(3)
+
+
+def test_scientific_rendering_small():
+    assert count_dags_scientific(3) == "25"
+
+
+def test_scientific_rendering_large():
+    text = count_dags_scientific(15)
+    assert "x 10^" in text
+    mantissa = float(text.split(" x ")[0])
+    assert 1.0 <= mantissa < 10.0
+
+
+def test_scientific_rendering_forty_nodes():
+    # The Cylinder Bands row of Table 7 needs n=40 without overflow.
+    text = count_dags_scientific(40)
+    assert "x 10^" in text
+    exponent = int(text.split("10^")[1])
+    assert exponent > 200

@@ -1,0 +1,151 @@
+"""Tests for repro.pgm.dag (DAGs and d-separation)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgm import DAG, GraphError
+
+
+@pytest.fixture
+def diamond() -> DAG:
+    return DAG(
+        ["a", "b", "c", "d"],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+class TestConstruction:
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            DAG(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            DAG(["a"], [("a", "a")])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            DAG(["a"], [("a", "b")])
+
+    def test_isolated_nodes_allowed(self):
+        dag = DAG(["a", "b"])
+        assert dag.n_edges == 0
+        assert dag.topological_order() == ("a", "b")
+
+    def test_from_parent_map(self):
+        dag = DAG.from_parent_map({"c": ["a", "b"], "a": [], "b": []})
+        assert dag.parents("c") == {"a", "b"}
+
+    def test_relabel(self, diamond):
+        renamed = diamond.relabel({"a": "root"})
+        assert renamed.has_edge("root", "b")
+        assert not renamed.adjacent("a", "b")
+
+
+class TestStructure:
+    def test_parents_children(self, diamond):
+        assert diamond.parents("d") == {"b", "c"}
+        assert diamond.children("a") == {"b", "c"}
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        for parent, child in diamond.edges():
+            assert order.index(parent) < order.index(child)
+
+    def test_ancestors_descendants(self, diamond):
+        assert diamond.ancestors("d") == {"a", "b", "c"}
+        assert diamond.descendants("a") == {"b", "c", "d"}
+        assert diamond.ancestors("a") == frozenset()
+
+    def test_v_structures(self, diamond):
+        # b -> d <- c is shielded only if b adjacent c; here they are not.
+        assert diamond.v_structures() == {("b", "d", "c")}
+
+    def test_skeleton(self, diamond):
+        assert frozenset(("a", "b")) in diamond.skeleton()
+        assert len(diamond.skeleton()) == 4
+
+    def test_markov_equivalent_chain_directions(self):
+        forward = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        backward = DAG(["a", "b", "c"], [("c", "b"), ("b", "a")])
+        collider = DAG(["a", "b", "c"], [("a", "b"), ("c", "b")])
+        assert forward.markov_equivalent(backward)
+        assert not forward.markov_equivalent(collider)
+
+    def test_equality_and_hash(self, diamond):
+        clone = DAG(
+            ["d", "c", "b", "a"],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        assert diamond == clone
+        assert hash(diamond) == hash(clone)
+
+
+class TestDSeparation:
+    def test_chain_blocked_by_middle(self):
+        chain = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert not chain.d_separated("a", "c")
+        assert chain.d_separated("a", "c", ["b"])
+
+    def test_fork_blocked_by_root(self):
+        fork = DAG(["a", "b", "c"], [("b", "a"), ("b", "c")])
+        assert not fork.d_separated("a", "c")
+        assert fork.d_separated("a", "c", ["b"])
+
+    def test_collider_opens_when_conditioned(self):
+        collider = DAG(["a", "b", "c"], [("a", "b"), ("c", "b")])
+        assert collider.d_separated("a", "c")
+        assert not collider.d_separated("a", "c", ["b"])
+
+    def test_collider_opens_via_descendant(self):
+        dag = DAG(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("c", "b"), ("b", "d")],
+        )
+        assert dag.d_separated("a", "c")
+        assert not dag.d_separated("a", "c", ["d"])
+
+    def test_diamond(self, diamond):
+        assert not diamond.d_separated("b", "c")
+        assert diamond.d_separated("b", "c", ["a"])
+        assert not diamond.d_separated("b", "c", ["a", "d"])
+
+    def test_endpoint_in_conditioning_set_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.d_separated("a", "b", ["a"])
+
+
+def _random_dag(node_count: int, edge_bits: int) -> DAG:
+    names = [f"n{i}" for i in range(node_count)]
+    edges = []
+    bit = 0
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if edge_bits >> bit & 1:
+                edges.append((names[i], names[j]))
+            bit += 1
+    return DAG(names, edges)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    node_count=st.integers(3, 5),
+    edge_bits=st.integers(0, 1023),
+    data=st.data(),
+)
+def test_d_separation_matches_networkx(node_count, edge_bits, data):
+    """Our reachability algorithm agrees with networkx's d-separation."""
+    dag = _random_dag(node_count, edge_bits)
+    nodes = list(dag.nodes)
+    x, y = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=2, max_size=2, unique=True)
+    )
+    others = [n for n in nodes if n not in (x, y)]
+    z = data.draw(st.lists(st.sampled_from(others), max_size=3, unique=True)) if others else []
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(dag.edges())
+    expected = nx.is_d_separator(graph, {x}, {y}, set(z))
+    assert dag.d_separated(x, y, z) == expected

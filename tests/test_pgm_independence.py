@@ -1,0 +1,127 @@
+"""Tests for the conditional-independence tester."""
+
+import numpy as np
+import pytest
+
+from repro.pgm import CITester, IndependenceError
+from repro.relation import Relation
+
+
+def make_tester(columns: dict[str, np.ndarray], **kwargs) -> CITester:
+    names = list(columns)
+    codes = np.column_stack([columns[n] for n in names])
+    return CITester(codes, names, **kwargs)
+
+
+@pytest.fixture
+def dependent_data(rng) -> CITester:
+    x = rng.integers(0, 3, size=3000).astype(np.int32)
+    y = (x + rng.integers(0, 2, size=3000)) % 3  # strongly dependent
+    z = rng.integers(0, 3, size=3000).astype(np.int32)
+    return make_tester({"x": x, "y": y.astype(np.int32), "z": z})
+
+
+class TestMarginalTests:
+    def test_detects_dependence(self, dependent_data):
+        assert not dependent_data.independent("x", "y")
+
+    def test_detects_independence(self, dependent_data):
+        assert dependent_data.independent("x", "z")
+
+    def test_result_fields(self, dependent_data):
+        result = dependent_data.test("x", "y")
+        assert result.statistic > 0
+        assert 0 <= result.p_value <= 1
+        assert result.dof > 0
+        assert bool(result) == result.independent
+
+    def test_symmetry(self, dependent_data):
+        assert dependent_data.test("x", "y") == dependent_data.test("y", "x")
+
+    def test_memoization(self, dependent_data):
+        before = dependent_data.n_queries
+        dependent_data.test("x", "z")
+        dependent_data.test("z", "x")
+        dependent_data.test("x", "z", ())
+        assert dependent_data.n_queries == before + 1
+
+
+class TestConditionalTests:
+    def test_chain_blocked_by_middle(self, rng):
+        a = rng.integers(0, 3, size=4000).astype(np.int32)
+        noise_b = rng.random(4000) < 0.05
+        b = np.where(noise_b, (a + 1) % 3, a).astype(np.int32)
+        noise_c = rng.random(4000) < 0.05
+        c = np.where(noise_c, (b + 1) % 3, b).astype(np.int32)
+        tester = make_tester({"a": a, "b": b, "c": c})
+        assert not tester.independent("a", "c")
+        assert tester.independent("a", "c", ["b"])
+
+    def test_collider_opens(self, rng):
+        a = rng.integers(0, 2, size=4000).astype(np.int32)
+        b = rng.integers(0, 2, size=4000).astype(np.int32)
+        c = ((a + b) % 2).astype(np.int32)
+        tester = make_tester({"a": a, "b": b, "c": c})
+        assert tester.independent("a", "b")
+        assert not tester.independent("a", "b", ["c"])
+
+
+class TestEdgeCases:
+    def test_same_variable_rejected(self, dependent_data):
+        with pytest.raises(IndependenceError):
+            dependent_data.test("x", "x")
+
+    def test_conditioning_on_endpoint_rejected(self, dependent_data):
+        with pytest.raises(IndependenceError):
+            dependent_data.test("x", "y", ["x"])
+
+    def test_unknown_column_rejected(self, dependent_data):
+        with pytest.raises(IndependenceError):
+            dependent_data.test("x", "nope")
+
+    def test_constant_column_is_independent(self, rng):
+        x = rng.integers(0, 3, size=100).astype(np.int32)
+        const = np.zeros(100, dtype=np.int32)
+        tester = make_tester({"x": x, "c": const})
+        result = tester.test("x", "c")
+        assert result.independent
+        assert result.dof == 0
+
+    def test_missing_values_dropped(self, rng):
+        x = rng.integers(0, 2, size=500).astype(np.int32)
+        y = x.copy()
+        y[:50] = -1  # MISSING
+        tester = make_tester({"x": x, "y": y})
+        assert not tester.independent("x", "y")
+
+    def test_empty_after_missing(self):
+        x = np.full(10, -1, dtype=np.int32)
+        y = np.zeros(10, dtype=np.int32)
+        tester = make_tester({"x": x, "y": y})
+        assert tester.test("x", "y").independent
+
+    def test_x2_method(self, dependent_data):
+        codes = dependent_data._codes
+        tester = CITester(codes, dependent_data.names, method="x2")
+        assert not tester.independent("x", "y")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(IndependenceError):
+            make_tester({"a": np.zeros(1, dtype=np.int32)}, method="zzz")
+
+    def test_min_samples_per_dof_guards_sparse_tables(self, rng):
+        # 400 rows over a 20x20 table: informative, but below the
+        # 5-samples-per-dof bar (dof = 19*19 = 361 needs 1805 rows).
+        x = rng.integers(0, 20, size=400).astype(np.int32)
+        y = x.copy()  # perfectly dependent
+        strict = make_tester({"x": x, "y": y}, min_samples_per_dof=5.0)
+        loose = make_tester({"x": x, "y": y}, min_samples_per_dof=0.0)
+        assert strict.test("x", "y").independent
+        assert not loose.test("x", "y").independent
+
+    def test_from_relation(self):
+        relation = Relation.from_rows(
+            [{"a": "x", "b": "y"}, {"a": "z", "b": "w"}]
+        )
+        tester = CITester.from_relation(relation)
+        assert set(tester.names) == {"a", "b"}

@@ -1,0 +1,88 @@
+"""Tests for Markov equivalence class enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgm import (
+    DAG,
+    cpdag_from_dag,
+    enumerate_mec,
+    enumerate_mec_brute_force,
+    mec_of,
+    mec_size,
+)
+
+
+class TestEnumeration:
+    def test_chain_mec_has_three_members(self):
+        # a - b - c without colliders: a→b→c, a←b←c, a←b→c.
+        chain = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        members = mec_of(chain)
+        assert len(members) == 3
+        assert chain in members
+
+    def test_collider_is_unique_in_class(self):
+        collider = DAG(["a", "b", "c"], [("a", "b"), ("c", "b")])
+        assert mec_size(cpdag_from_dag(collider)) == 1
+
+    def test_complete_graph_class_size(self):
+        # A complete DAG on 3 nodes: all 3! orderings are equivalent.
+        complete = DAG(
+            ["a", "b", "c"], [("a", "b"), ("a", "c"), ("b", "c")]
+        )
+        assert mec_size(cpdag_from_dag(complete)) == 6
+
+    def test_members_are_markov_equivalent(self, chain_dag):
+        members = mec_of(chain_dag)
+        for member in members:
+            assert member.markov_equivalent(chain_dag)
+
+    def test_members_are_distinct(self):
+        chain = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        members = mec_of(chain)
+        assert len({frozenset(m.edges()) for m in members}) == len(members)
+
+    def test_max_dags_cap(self):
+        chain = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        cpdag = cpdag_from_dag(chain)
+        assert sum(1 for _ in enumerate_mec(cpdag, max_dags=2)) == 2
+
+    def test_isolated_nodes(self):
+        dag = DAG(["a", "b"])
+        assert mec_size(cpdag_from_dag(dag)) == 1
+
+
+def _dag_from_bits(node_count: int, edge_bits: int) -> DAG:
+    names = [f"n{i}" for i in range(node_count)]
+    edges = []
+    bit = 0
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if edge_bits >> bit & 1:
+                edges.append((names[i], names[j]))
+            bit += 1
+    return DAG(names, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(node_count=st.integers(2, 5), edge_bits=st.integers(0, 1023))
+def test_enumeration_matches_brute_force(node_count, edge_bits):
+    """The backtracking enumerator finds exactly the brute-force MEC."""
+    dag = _dag_from_bits(node_count, edge_bits)
+    cpdag = cpdag_from_dag(dag)
+    fast = {frozenset(d.edges()) for d in enumerate_mec(cpdag)}
+    slow = {
+        frozenset(d.edges()) for d in enumerate_mec_brute_force(cpdag)
+    }
+    assert fast == slow
+    assert frozenset(dag.edges()) in fast
+
+
+@settings(max_examples=40, deadline=None)
+@given(node_count=st.integers(2, 5), edge_bits=st.integers(0, 1023))
+def test_every_member_roundtrips_to_same_cpdag(node_count, edge_bits):
+    dag = _dag_from_bits(node_count, edge_bits)
+    cpdag = cpdag_from_dag(dag)
+    for member in enumerate_mec(cpdag):
+        assert cpdag_from_dag(member) == cpdag

@@ -1,0 +1,111 @@
+"""Tests for the PC algorithm (oracle and sample-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgm import (
+    DAG,
+    CITester,
+    OracleCITester,
+    cpdag_from_dag,
+    learn_cpdag,
+    random_sem,
+)
+
+
+class TestOracleRecovery:
+    """With a perfect CI oracle, PC must recover the CPDAG exactly."""
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [("a", "b"), ("b", "c")],                      # chain
+            [("a", "b"), ("c", "b")],                      # collider
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],  # diamond
+            [],                                            # empty
+            [("a", "b"), ("d", "b"), ("b", "c")],          # paper chain
+        ],
+    )
+    def test_exact_cpdag_recovery(self, edges):
+        nodes = ["a", "b", "c", "d"]
+        dag = DAG(nodes, edges)
+        result = learn_cpdag(OracleCITester(dag))
+        assert result.cpdag == cpdag_from_dag(dag)
+
+    def test_separating_sets_respect_structure(self):
+        chain = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        result = learn_cpdag(OracleCITester(chain))
+        assert result.separating_sets[frozenset(("a", "c"))] == {"b"}
+
+    def test_ci_test_count_reported(self, chain_dag):
+        result = learn_cpdag(OracleCITester(chain_dag))
+        assert result.n_ci_tests > 0
+
+
+def _dag_from_bits(node_count: int, edge_bits: int) -> DAG:
+    names = [f"n{i}" for i in range(node_count)]
+    edges = []
+    bit = 0
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if edge_bits >> bit & 1:
+                edges.append((names[i], names[j]))
+            bit += 1
+    return DAG(names, edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(node_count=st.integers(2, 5), edge_bits=st.integers(0, 1023))
+def test_oracle_pc_recovers_random_dags(node_count, edge_bits):
+    dag = _dag_from_bits(node_count, edge_bits)
+    result = learn_cpdag(OracleCITester(dag))
+    assert result.cpdag == cpdag_from_dag(dag)
+
+
+class TestSampleBasedRecovery:
+    def test_collider_from_samples(self, rng):
+        dag = DAG(["a", "b", "c"], [("a", "c"), ("b", "c")])
+        sem = random_sem(dag, cardinalities=3, determinism=0.9, rng=rng)
+        relation = sem.sample(5000, rng)
+        tester = CITester.from_relation(relation, alpha=0.01)
+        result = learn_cpdag(tester)
+        assert result.cpdag.skeleton() == dag.skeleton()
+        assert result.cpdag.has_directed("a", "c")
+        assert result.cpdag.has_directed("b", "c")
+
+    def test_max_condition_size_limits_levels(self, rng):
+        dag = DAG(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("b", "c"), ("c", "d")],
+        )
+        sem = random_sem(dag, cardinalities=3, determinism=0.9, rng=rng)
+        relation = sem.sample(3000, rng)
+        tester = CITester.from_relation(relation, alpha=0.01)
+        result = learn_cpdag(tester, max_condition_size=1)
+        assert result.levels_run <= 2
+
+    def test_conflicting_colliders_leave_edges_undirected(self):
+        """Synthetic sepsets that demand both orientations of one edge."""
+        from repro.pgm.pc import _orient_v_structures
+
+        nodes = ["a", "b", "c", "d"]
+        adjacency = {
+            "a": {"b"},
+            "b": {"a", "c"},
+            "c": {"b", "d"},
+            "d": {"c"},
+        }
+        # a-b-c unshielded with b not in sepset(a,c): wants a->b<-c.
+        # b-c-d unshielded with c not in sepset(b,d): wants b->c<-d.
+        # Both want opposite directions of the b-c edge: conflict.
+        separating = {
+            frozenset(("a", "c")): frozenset(),
+            frozenset(("b", "d")): frozenset(),
+        }
+        directed, undirected = _orient_v_structures(
+            nodes, adjacency, separating
+        )
+        assert directed == set()
+        assert ("b", "c") in undirected

@@ -1,0 +1,137 @@
+"""Tests for repro.pgm.pdag (PDAGs, Meek rules, CPDAG computation)."""
+
+import pytest
+
+from repro.pgm import DAG, GraphError, OrientationConflict, PDAG, cpdag_from_dag
+
+
+class TestPdagBasics:
+    def test_both_directions_rejected(self):
+        with pytest.raises(GraphError, match="both ways"):
+            PDAG(["a", "b"], directed=[("a", "b"), ("b", "a")])
+
+    def test_directed_and_undirected_rejected(self):
+        with pytest.raises(GraphError, match="directed and undirected"):
+            PDAG(["a", "b"], directed=[("a", "b")], undirected=[("a", "b")])
+
+    def test_adjacency(self):
+        pdag = PDAG(["a", "b", "c"], directed=[("a", "b")], undirected=[("b", "c")])
+        assert pdag.adjacent("a", "b")
+        assert pdag.adjacent("c", "b")
+        assert not pdag.adjacent("a", "c")
+
+    def test_neighbor_queries(self):
+        pdag = PDAG(
+            ["a", "b", "c"], directed=[("a", "b")], undirected=[("b", "c")]
+        )
+        assert pdag.parents("b") == {"a"}
+        assert pdag.children("a") == {"b"}
+        assert pdag.undirected_neighbors("b") == {"c"}
+        assert pdag.neighbors("b") == {"a", "c"}
+
+    def test_orient(self):
+        pdag = PDAG(["a", "b"], undirected=[("a", "b")])
+        pdag.orient("a", "b")
+        assert pdag.has_directed("a", "b")
+        assert pdag.n_undirected == 0
+
+    def test_orient_conflict(self):
+        pdag = PDAG(["a", "b"], directed=[("b", "a")])
+        with pytest.raises(OrientationConflict):
+            pdag.orient("a", "b")
+
+    def test_orient_missing_edge(self):
+        pdag = PDAG(["a", "b"])
+        with pytest.raises(GraphError, match="no undirected edge"):
+            pdag.orient("a", "b")
+
+    def test_creates_cycle(self):
+        pdag = PDAG(
+            ["a", "b", "c"],
+            directed=[("a", "b"), ("b", "c")],
+            undirected=[("a", "c")],
+        )
+        assert pdag.creates_cycle("c", "a")
+        assert not pdag.creates_cycle("a", "c")
+
+    def test_creates_new_v_structure(self):
+        pdag = PDAG(
+            ["a", "b", "c"],
+            directed=[("a", "b")],
+            undirected=[("c", "b")],
+        )
+        # c -> b would collide with a -> b (a, c nonadjacent).
+        assert pdag.creates_new_v_structure("c", "b")
+        assert not pdag.creates_new_v_structure("b", "c")
+
+    def test_copy_is_independent(self):
+        pdag = PDAG(["a", "b"], undirected=[("a", "b")])
+        clone = pdag.copy()
+        clone.orient("a", "b")
+        assert pdag.n_undirected == 1
+
+    def test_to_dag_requires_fully_directed(self):
+        pdag = PDAG(["a", "b"], undirected=[("a", "b")])
+        with pytest.raises(GraphError, match="undirected"):
+            pdag.to_dag()
+
+
+class TestMeekRules:
+    def test_rule1(self):
+        # a -> b, b - c, a/c nonadjacent  =>  b -> c
+        pdag = PDAG(["a", "b", "c"], directed=[("a", "b")], undirected=[("b", "c")])
+        pdag.apply_meek_rules()
+        assert pdag.has_directed("b", "c")
+
+    def test_rule2(self):
+        # a -> c -> b with a - b  =>  a -> b
+        pdag = PDAG(
+            ["a", "b", "c"],
+            directed=[("a", "c"), ("c", "b")],
+            undirected=[("a", "b")],
+        )
+        pdag.apply_meek_rules()
+        assert pdag.has_directed("a", "b")
+
+    def test_rule3(self):
+        # a - b, a - c -> b, a - d -> b, c/d nonadjacent  =>  a -> b
+        pdag = PDAG(
+            ["a", "b", "c", "d"],
+            directed=[("c", "b"), ("d", "b")],
+            undirected=[("a", "b"), ("a", "c"), ("a", "d")],
+        )
+        pdag.apply_meek_rules()
+        assert pdag.has_directed("a", "b")
+
+    def test_no_rule_applies(self):
+        pdag = PDAG(["a", "b", "c"], undirected=[("a", "b"), ("b", "c")])
+        changed = pdag.apply_meek_rules()
+        assert not changed
+        assert pdag.n_undirected == 2
+
+
+class TestCpdagFromDag:
+    def test_chain_fully_undirected(self):
+        chain = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        cpdag = cpdag_from_dag(chain)
+        assert cpdag.directed_edges() == set()
+        assert len(cpdag.undirected_edges()) == 2
+
+    def test_collider_fully_directed(self):
+        collider = DAG(["a", "b", "c"], [("a", "b"), ("c", "b")])
+        cpdag = cpdag_from_dag(collider)
+        assert cpdag.directed_edges() == {("a", "b"), ("c", "b")}
+
+    def test_v_structure_propagates_by_meek(self, chain_dag):
+        # a -> b <- d forces b -> c by Meek R1.
+        cpdag = cpdag_from_dag(chain_dag)
+        assert cpdag.has_directed("b", "c")
+        assert cpdag.n_undirected == 0
+
+    def test_markov_equivalent_dags_share_cpdag(self):
+        forward = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        backward = DAG(["a", "b", "c"], [("c", "b"), ("b", "a")])
+        assert cpdag_from_dag(forward) == cpdag_from_dag(backward)
+
+    def test_skeleton_preserved(self, chain_dag):
+        assert cpdag_from_dag(chain_dag).skeleton() == chain_dag.skeleton()

@@ -1,0 +1,149 @@
+"""Tests for discrete structural equation models."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import program_is_valid, program_loss
+from repro.pgm import DAG, DiscreteSEM, NodeModel, random_sem, sem_to_program
+from repro.pgm.dag import GraphError
+
+
+class TestNodeModel:
+    def test_modal_value(self):
+        model = NodeModel(
+            "x", ("p",), 3, {(0,): np.array([0.1, 0.8, 0.1])}
+        )
+        assert model.modal_value((0,)) == 1
+
+    def test_missing_config_raises(self):
+        model = NodeModel("x", ("p",), 2, {(0,): np.array([1.0, 0.0])})
+        with pytest.raises(GraphError, match="no CPT row"):
+            model.distribution((9,))
+
+    def test_is_deterministic(self):
+        det = NodeModel("x", (), 2, {(): np.array([1.0, 0.0])})
+        stoch = NodeModel("x", (), 2, {(): np.array([0.7, 0.3])})
+        assert det.is_deterministic()
+        assert not stoch.is_deterministic()
+
+
+class TestDiscreteSEM:
+    def test_model_parent_mismatch_rejected(self):
+        dag = DAG(["a", "b"], [("a", "b")])
+        models = {
+            "a": NodeModel("a", (), 2, {(): np.array([0.5, 0.5])}),
+            "b": NodeModel("b", (), 2, {(): np.array([0.5, 0.5])}),
+        }
+        with pytest.raises(GraphError, match="disagree"):
+            DiscreteSEM(dag, models)
+
+    def test_missing_model_rejected(self):
+        dag = DAG(["a"])
+        with pytest.raises(GraphError, match="missing node model"):
+            DiscreteSEM(dag, {})
+
+    def test_sampling_shape(self, chain_sem, rng):
+        relation = chain_sem.sample(100, rng)
+        assert relation.n_rows == 100
+        assert set(relation.names) == set(chain_sem.dag.nodes)
+
+    def test_deterministic_sem_samples_follow_mechanism(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        sem = random_sem(dag, cardinalities=3, determinism=1.0, rng=rng)
+        codes = sem.sample_codes(500, rng)
+        model = sem.model("c")
+        for p_code, c_code in zip(codes["p"], codes["c"]):
+            assert c_code == model.modal_value((int(p_code),))
+
+    def test_ground_truth_parent_map(self, chain_sem, chain_dag):
+        assert chain_sem.ground_truth_parent_map() == {
+            n: chain_dag.parents(n) for n in chain_dag.nodes
+        }
+
+
+class TestRandomSem:
+    def test_determinism_parameter(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        sem = random_sem(dag, 3, determinism=0.9, rng=rng)
+        for dist in sem.model("c").table.values():
+            assert np.max(dist) == pytest.approx(0.9)
+
+    def test_unconstrained_fraction_produces_flat_rows(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        sem = random_sem(
+            dag,
+            cardinalities={"p": 50, "c": 4},
+            determinism=1.0,
+            unconstrained_fraction=0.5,
+            rng=rng,
+        )
+        modes = [
+            float(np.max(dist)) for dist in sem.model("c").table.values()
+        ]
+        assert any(m == 1.0 for m in modes)       # constrained rows
+        assert any(m < 0.9 for m in modes)        # unconstrained rows
+
+    def test_first_config_always_constrained(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        sem = random_sem(
+            dag, 3, determinism=1.0, unconstrained_fraction=1.0, rng=rng
+        )
+        table = sem.model("c").table
+        assert float(np.max(table[min(table)])) == 1.0
+
+    def test_single_parent_mechanism_not_bijective(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        for seed in range(10):
+            sem = random_sem(
+                dag, 4, determinism=1.0,
+                rng=np.random.default_rng(seed),
+            )
+            outputs = [
+                sem.model("c").modal_value(cfg)
+                for cfg in sem.model("c").table
+            ]
+            assert len(set(outputs)) < len(outputs)  # non-injective
+            assert len(set(outputs)) > 1             # non-constant
+
+    def test_per_node_cardinalities(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        sem = random_sem(
+            dag, cardinalities={"p": 5, "c": 2}, rng=rng
+        )
+        assert sem.cardinality("p") == 5
+        assert sem.cardinality("c") == 2
+
+
+class TestSemToProgram:
+    def test_oracle_program_is_valid_on_deterministic_data(self, rng):
+        dag = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        sem = random_sem(dag, 3, determinism=1.0, rng=rng)
+        relation = sem.sample(500, rng)
+        program = sem_to_program(sem, relation)
+        assert program_is_valid(program, relation, 0.0)
+        assert program_loss(program, relation) == 0
+
+    def test_unconstrained_configs_yield_no_branch(self, rng):
+        dag = DAG(["p", "c"], [("p", "c")])
+        sem = random_sem(
+            dag,
+            cardinalities={"p": 6, "c": 3},
+            determinism=1.0,
+            unconstrained_fraction=0.6,
+            rng=rng,
+        )
+        relation = sem.sample(2000, rng)
+        program = sem_to_program(sem, relation, min_mode=0.6)
+        constrained = sum(
+            1
+            for dist in sem.model("c").table.values()
+            if float(np.max(dist)) >= 0.6
+        )
+        assert len(program.statements) == 1
+        assert len(program.statements[0].branches) <= constrained
+
+    def test_roots_have_no_statement(self, chain_sem, rng):
+        relation = chain_sem.sample(300, rng)
+        program = sem_to_program(chain_sem, relation)
+        assert "a" not in program.dependents
+        assert "d" not in program.dependents

@@ -1,0 +1,87 @@
+"""Property-based tests over the full synthesis pipeline.
+
+Hypothesis generates random DAGs + SEMs; the pipeline must be
+deterministic under a fixed seed, and its invariants (ε-validity,
+acyclic statement structure, detection soundness on conforming data)
+must hold for every generated world.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import format_program, parse_program, program_is_valid
+from repro.pgm import DAG, random_sem
+from repro.synth import GuardrailConfig, synthesize
+
+
+@st.composite
+def worlds(draw):
+    """A random DAG (≤5 nodes), SEM, and sample from it."""
+    node_count = draw(st.integers(3, 5))
+    names = [f"v{i}" for i in range(node_count)]
+    edges = []
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if draw(st.booleans()):
+                edges.append((names[i], names[j]))
+    dag = DAG(names, edges)
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    sem = random_sem(
+        dag,
+        cardinalities=3,
+        determinism=0.99,
+        unconstrained_fraction=0.2,
+        rng=rng,
+    )
+    relation = sem.sample(600, rng)
+    return dag, relation, seed
+
+
+CONFIG = GuardrailConfig(epsilon=0.05, min_support=3, seed=0, max_dags=64)
+
+
+@settings(max_examples=15, deadline=None)
+@given(worlds())
+def test_synthesis_is_deterministic(world):
+    dag, relation, _ = world
+    one = synthesize(relation, CONFIG)
+    two = synthesize(relation, CONFIG)
+    assert one.program == two.program
+    assert one.coverage == two.coverage
+
+
+@settings(max_examples=15, deadline=None)
+@given(worlds())
+def test_synthesized_program_invariants(world):
+    dag, relation, _ = world
+    result = synthesize(relation, CONFIG)
+    # 1. ε-validity on the training data (the Eqn. 7 contract).
+    assert program_is_valid(result.program, relation, CONFIG.epsilon)
+    # 2. Statements form a DAG over attributes (a well-formed DGP).
+    edges = [
+        (det, s.dependent)
+        for s in result.program
+        for det in s.determinants
+    ]
+    DAG(list(relation.names), edges)  # raises on cycles
+    # 3. At most one statement per dependent attribute.
+    dependents = result.program.dependents
+    assert len(dependents) == len(set(dependents))
+    # 4. The text form round-trips.
+    assert parse_program(format_program(result.program)) == result.program
+
+
+@settings(max_examples=10, deadline=None)
+@given(worlds())
+def test_detection_false_positive_rate_bounded(world):
+    """On data from the DGP itself, flagged rows stay near the noise
+    floor (branches are ε-valid, so violations are rare by contract)."""
+    dag, relation, _ = world
+    result = synthesize(relation, CONFIG)
+    from repro.dsl import program_violations
+
+    flagged = program_violations(result.program, relation)
+    assert flagged.mean() <= CONFIG.epsilon * max(len(result.program), 1) + 0.02

@@ -1,0 +1,68 @@
+"""Tests for repro.relation.io (CSV import/export)."""
+
+import pytest
+
+from repro.relation import (
+    Relation,
+    RelationError,
+    from_csv_text,
+    read_csv,
+    to_csv_text,
+    write_csv,
+)
+
+
+@pytest.fixture
+def sample() -> Relation:
+    return Relation.from_rows(
+        [
+            {"city": "Berkeley", "zip": "94704"},
+            {"city": "New York", "zip": "10001"},
+            {"city": None, "zip": "73301"},
+        ]
+    )
+
+
+def test_roundtrip_text(sample):
+    text = to_csv_text(sample)
+    rebuilt = from_csv_text(text)
+    assert rebuilt.names == sample.names
+    assert rebuilt.n_rows == sample.n_rows
+    assert rebuilt.row(0) == sample.row(0)
+    assert rebuilt.row(2)["city"] is None
+
+
+def test_roundtrip_file(sample, tmp_path):
+    path = tmp_path / "data.csv"
+    write_csv(sample, path)
+    rebuilt = read_csv(path)
+    assert rebuilt.row(1)["city"] == "New York"
+
+
+def test_numeric_columns():
+    text = "name,score\na,1.5\nb,\n"
+    relation = from_csv_text(text, numeric=["score"])
+    assert relation.schema["score"].is_numeric()
+    values = relation.numeric("score")
+    assert values[0] == 1.5
+
+
+def test_empty_file_raises():
+    with pytest.raises(RelationError, match="empty"):
+        from_csv_text("")
+
+
+def test_ragged_row_raises():
+    with pytest.raises(RelationError, match="fields"):
+        from_csv_text("a,b\n1\n")
+
+
+def test_quoting_preserved():
+    original = Relation.from_rows([{"note": 'has "quotes", commas'}])
+    assert from_csv_text(to_csv_text(original)).row(0) == original.row(0)
+
+
+def test_header_only():
+    relation = from_csv_text("a,b\n")
+    assert relation.n_rows == 0
+    assert relation.names == ("a", "b")

@@ -1,0 +1,91 @@
+"""Algebraic property tests for relation operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relation import Relation
+
+
+@st.composite
+def relations_and_masks(draw):
+    n_rows = draw(st.integers(1, 30))
+    columns = {
+        "a": [f"a{draw(st.integers(0, 2))}" for _ in range(n_rows)],
+        "b": [f"b{draw(st.integers(0, 3))}" for _ in range(n_rows)],
+    }
+    relation = Relation.from_columns(columns)
+    mask1 = np.array(
+        [draw(st.booleans()) for _ in range(n_rows)], dtype=bool
+    )
+    mask2 = np.array(
+        [draw(st.booleans()) for _ in range(n_rows)], dtype=bool
+    )
+    return relation, mask1, mask2
+
+
+@settings(max_examples=40)
+@given(relations_and_masks())
+def test_filter_composition(data):
+    """filter(m1) then filter(m2|m1-rows) == filter(m1 & m2)."""
+    relation, mask1, mask2 = data
+    combined = relation.filter(mask1 & mask2)
+    sequential = relation.filter(mask1).filter(mask2[mask1])
+    assert sequential.equals(combined)
+
+
+@settings(max_examples=40)
+@given(relations_and_masks())
+def test_project_commutes_with_filter(data):
+    relation, mask1, _ = data
+    one = relation.filter(mask1).project(["b"])
+    two = relation.project(["b"]).filter(mask1)
+    assert one.equals(two)
+
+
+@settings(max_examples=40)
+@given(relations_and_masks())
+def test_take_identity(data):
+    relation, _, _ = data
+    taken = relation.take(np.arange(relation.n_rows))
+    assert taken.equals(relation)
+
+
+@settings(max_examples=40)
+@given(relations_and_masks())
+def test_rows_roundtrip(data):
+    relation, _, _ = data
+    rebuilt = Relation.from_rows(
+        relation.to_rows(),
+        schema=relation.schema,
+        codecs=relation.codecs(),
+    )
+    assert rebuilt.equals(relation)
+
+
+@settings(max_examples=40)
+@given(relations_and_masks())
+def test_group_indices_cover_exactly_once(data):
+    relation, _, _ = data
+    groups = relation.group_indices(["a", "b"])
+    indices = sorted(
+        int(i) for idx in groups.values() for i in idx
+    )
+    assert indices == list(range(relation.n_rows))
+
+
+@settings(max_examples=30)
+@given(relations_and_masks(), st.integers(0, 100))
+def test_set_cell_only_touches_target(data, seed):
+    relation, _, _ = data
+    rng = np.random.default_rng(seed)
+    row = int(rng.integers(relation.n_rows))
+    out = relation.set_cell(row, "a", "novel-value")
+    # Compare cell by cell (codecs differ after the extension).
+    for i in range(relation.n_rows):
+        for name in relation.names:
+            if i == row and name == "a":
+                assert out.value(i, name) == "novel-value"
+            else:
+                assert out.value(i, name) == relation.value(i, name)

@@ -1,0 +1,88 @@
+"""Tests for repro.relation.schema."""
+
+import pytest
+
+from repro.relation import Attribute, AttributeType, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_default_type_is_categorical(self):
+        assert Attribute("city").is_categorical()
+
+    def test_numeric_attribute(self):
+        attr = Attribute("age", AttributeType.NUMERIC)
+        assert attr.is_numeric()
+        assert not attr.is_categorical()
+
+    def test_attributes_are_hashable(self):
+        assert {Attribute("a"), Attribute("a")} == {Attribute("a")}
+
+
+class TestSchema:
+    def test_names_preserve_order(self):
+        schema = Schema.categorical(["b", "a", "c"])
+        assert schema.names == ("b", "a", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.categorical(["a", "a"])
+
+    def test_non_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="expected Attribute"):
+            Schema(["a"])  # type: ignore[list-item]
+
+    def test_lookup_by_name_and_position(self):
+        schema = Schema.categorical(["x", "y"])
+        assert schema["y"].name == "y"
+        assert schema[0].name == "x"
+        assert schema.position("y") == 1
+
+    def test_unknown_name_raises(self):
+        schema = Schema.categorical(["x"])
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema["nope"]
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.position("nope")
+
+    def test_contains(self):
+        schema = Schema.categorical(["x"])
+        assert "x" in schema
+        assert "y" not in schema
+
+    def test_project_reorders(self):
+        schema = Schema.categorical(["a", "b", "c"])
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_project_unknown_raises(self):
+        schema = Schema.categorical(["a"])
+        with pytest.raises(SchemaError):
+            schema.project(["zzz"])
+
+    def test_type_partition(self):
+        schema = Schema(
+            [
+                Attribute("a"),
+                Attribute("n", AttributeType.NUMERIC),
+                Attribute("b"),
+            ]
+        )
+        assert schema.categorical_names() == ("a", "b")
+        assert schema.numeric_names() == ("n",)
+
+    def test_equality_and_hash(self):
+        one = Schema.categorical(["a", "b"])
+        two = Schema.categorical(["a", "b"])
+        assert one == two
+        assert hash(one) == hash(two)
+        assert one != Schema.categorical(["b", "a"])
+
+    def test_len_and_iter(self):
+        schema = Schema.categorical(["a", "b"])
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["a", "b"]
+
+    def test_empty_schema(self):
+        schema = Schema([])
+        assert len(schema) == 0
+        assert schema.names == ()

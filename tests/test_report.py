@@ -1,0 +1,66 @@
+"""Tests for the live report generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    ExperimentContext,
+    artifact_keys,
+    generate_report,
+    run_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_context() -> ExperimentContext:
+    return ExperimentContext(scale_rows=300, seed=13)
+
+
+class TestArtifacts:
+    def test_keys_cover_all_paper_artifacts(self):
+        keys = artifact_keys()
+        for expected in (
+            "table1", "table3", "table4", "table5", "table6",
+            "table7", "table8", "fig6", "fig7", "optsmt",
+        ):
+            assert expected in keys
+
+    def test_unknown_artifact_rejected(self, tiny_context):
+        with pytest.raises(KeyError, match="unknown artifact"):
+            run_artifact("table99", tiny_context)
+
+    @pytest.mark.parametrize("key", ["table4", "table7", "optsmt"])
+    def test_single_artifact_runs(self, key, tiny_context):
+        body = run_artifact(key, tiny_context)
+        assert "Dataset" in body
+
+    def test_generate_report_selected_sections(self, tiny_context):
+        report = generate_report(tiny_context, keys=["table7"])
+        assert report.startswith("# GUARDRAIL evaluation report")
+        assert "Table 7" in report
+        assert "```" in report
+        assert "Table 3" not in report
+
+
+class TestCliExperiment:
+    def test_single_artifact_to_stdout(self, capsys):
+        assert main(
+            ["experiment", "table7", "--scale-rows", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# DAGs (w/ MEC)" in out
+
+    def test_unknown_artifact_exit_code(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        # A single fast artifact keeps the test quick.
+        assert main(
+            [
+                "experiment", "table7",
+                "--scale-rows", "300",
+                "-o", str(target),
+            ]
+        ) == 0
+        assert "DAGs" in target.read_text()

@@ -1,0 +1,121 @@
+"""Tests for the auxiliary-distribution samplers (§4.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgm import CITester
+from repro.relation import Relation
+from repro.sampler import AuxiliarySampler, IdentitySampler, auxiliary_codes
+
+
+@pytest.fixture
+def relation(rng) -> Relation:
+    x = rng.integers(0, 3, size=400)
+    y = (x + (rng.random(400) < 0.05)) % 3
+    z = rng.integers(0, 3, size=400)
+    return Relation.from_columns(
+        {
+            "x": [f"x{v}" for v in x],
+            "y": [f"y{v}" for v in y],
+            "z": [f"z{v}" for v in z],
+        }
+    )
+
+
+class TestIdentitySampler:
+    def test_passthrough(self, relation, rng):
+        codes, names = IdentitySampler().transform(relation, rng)
+        assert names == ["x", "y", "z"]
+        assert np.array_equal(codes, relation.codes_matrix(names))
+
+
+class TestAuxiliaryCodes:
+    def test_shift_comparison(self):
+        codes = np.array([[0], [0], [1]], dtype=np.int32)
+        binary = auxiliary_codes(codes, [1])
+        # row i compared against row i-1 (rolled by one).
+        assert binary[:, 0].tolist() == [0, 1, 0]
+
+    def test_missing_cells_count_as_distinct(self):
+        codes = np.array([[0], [-1], [0]], dtype=np.int32)
+        binary = auxiliary_codes(codes, [1])
+        assert binary[1, 0] == 0
+
+    def test_multiple_shifts_stack(self):
+        codes = np.zeros((5, 2), dtype=np.int32)
+        binary = auxiliary_codes(codes, [1, 2])
+        assert binary.shape == (10, 2)
+        assert binary.all()  # constant column: always equal
+
+    def test_invalid_shift_rejected(self):
+        codes = np.zeros((5, 1), dtype=np.int32)
+        with pytest.raises(ValueError, match="shift"):
+            auxiliary_codes(codes, [0])
+        with pytest.raises(ValueError, match="shift"):
+            auxiliary_codes(codes, [5])
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            auxiliary_codes(np.zeros(5, dtype=np.int32), [1])
+
+
+class TestAuxiliarySampler:
+    def test_output_is_binary(self, relation, rng):
+        codes, names = AuxiliarySampler(n_shifts=2).transform(relation, rng)
+        assert set(np.unique(codes)) <= {0, 1}
+        assert names == ["x", "y", "z"]
+
+    def test_adaptive_shift_count(self, relation, rng):
+        sampler = AuxiliarySampler(n_shifts=2, target_samples=2000)
+        codes, _ = sampler.transform(relation, rng)
+        assert codes.shape[0] >= 2000
+
+    def test_max_shifts_cap(self, relation, rng):
+        sampler = AuxiliarySampler(
+            n_shifts=2, target_samples=10**6, max_shifts=3
+        )
+        codes, _ = sampler.transform(relation, rng)
+        assert codes.shape[0] == 3 * relation.n_rows
+
+    def test_max_rows_subsampling(self, relation, rng):
+        sampler = AuxiliarySampler(
+            n_shifts=5, target_samples=None, max_rows=100
+        )
+        codes, _ = sampler.transform(relation, rng)
+        assert codes.shape[0] == 100
+
+    def test_tiny_relation(self, rng):
+        relation = Relation.from_rows([{"a": "x"}])
+        codes, names = AuxiliarySampler().transform(relation, rng)
+        assert codes.shape == (0, 1)
+
+    def test_invalid_shift_count(self):
+        with pytest.raises(ValueError):
+            AuxiliarySampler(n_shifts=0)
+
+    def test_preserves_dependence_structure(self, relation, rng):
+        """Proposition 5: CI structure of 𝕀 matches the raw data."""
+        codes, names = AuxiliarySampler(
+            n_shifts=10, target_samples=None
+        ).transform(relation, rng)
+        tester = CITester(codes, names, alpha=0.01)
+        assert not tester.independent("x", "y")
+        assert tester.independent("x", "z")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_rows=st.integers(3, 40),
+    shift=st.integers(1, 5),
+)
+def test_auxiliary_codes_match_manual_pairing(n_rows, shift):
+    rng = np.random.default_rng(n_rows * 100 + shift)
+    codes = rng.integers(0, 3, size=(n_rows, 2)).astype(np.int32)
+    shift = shift % n_rows or 1
+    binary = auxiliary_codes(codes, [shift])
+    for i in range(n_rows):
+        j = (i - shift) % n_rows
+        for k in range(2):
+            assert binary[i, k] == int(codes[i, k] == codes[j, k])

@@ -1,0 +1,65 @@
+"""Tests for the sketch language AST."""
+
+import pytest
+
+from repro.dsl import DslError
+from repro.pgm import DAG
+from repro.sketch import ProgramSketch, StatementSketch
+
+
+class TestStatementSketch:
+    def test_determinants_sorted(self):
+        sketch = StatementSketch(("b", "a"), "c")
+        assert sketch.determinants == ("a", "b")
+
+    def test_empty_determinants_rejected(self):
+        with pytest.raises(DslError):
+            StatementSketch((), "c")
+
+    def test_duplicate_determinants_rejected(self):
+        with pytest.raises(DslError):
+            StatementSketch(("a", "a"), "c")
+
+    def test_dependent_among_determinants_rejected(self):
+        with pytest.raises(DslError):
+            StatementSketch(("c",), "c")
+
+    def test_str_shows_hole(self):
+        assert "HAVING []" in str(StatementSketch(("a",), "b"))
+
+    def test_hashable_and_canonical(self):
+        assert StatementSketch(("a", "b"), "c") == StatementSketch(
+            ("b", "a"), "c"
+        )
+
+
+class TestProgramSketch:
+    def test_from_dag_one_statement_per_non_root(self, chain_dag):
+        sketch = ProgramSketch.from_dag(chain_dag)
+        dependents = [s.dependent for s in sketch]
+        assert sorted(dependents) == ["b", "c"]
+
+    def test_from_dag_parents_become_determinants(self, chain_dag):
+        sketch = ProgramSketch.from_dag(chain_dag)
+        by_dependent = {s.dependent: s for s in sketch}
+        assert by_dependent["b"].determinants == ("a", "d")
+        assert by_dependent["c"].determinants == ("b",)
+
+    def test_from_dag_topological_order(self, chain_dag):
+        sketch = ProgramSketch.from_dag(chain_dag)
+        dependents = [s.dependent for s in sketch]
+        assert dependents.index("b") < dependents.index("c")
+
+    def test_from_edgeless_dag_is_empty(self):
+        sketch = ProgramSketch.from_dag(DAG(["a", "b"]))
+        assert not sketch
+        assert len(sketch) == 0
+
+    def test_attributes(self, chain_dag):
+        sketch = ProgramSketch.from_dag(chain_dag)
+        assert sketch.attributes() == {"a", "b", "c", "d"}
+
+    def test_str(self, chain_dag):
+        text = str(ProgramSketch.from_dag(chain_dag))
+        assert "GIVEN" in text
+        assert str(ProgramSketch(())) == "<empty sketch>"

@@ -1,0 +1,149 @@
+"""Tests for Algorithm 1 (sketch filling)."""
+
+import pytest
+
+from repro.dsl import program_is_valid, statement_is_valid
+from repro.relation import Relation
+from repro.sketch import (
+    FillCache,
+    FillStats,
+    ProgramSketch,
+    StatementSketch,
+    fill_program_sketch,
+    fill_statement_sketch,
+)
+
+
+class TestFillStatement:
+    def test_recovers_functional_mapping(self, city_relation):
+        sketch = StatementSketch(("PostalCode",), "City")
+        statement = fill_statement_sketch(sketch, city_relation, 0.0)
+        assert statement is not None
+        assert len(statement.branches) == 5  # five observed postal codes
+        literals = {
+            b.condition.value_of("PostalCode"): b.literal
+            for b in statement.branches
+        }
+        assert literals["94704"] == "Berkeley"
+        assert literals["73301"] == "Austin"
+
+    def test_epsilon_filters_noisy_branches(self):
+        rows = [{"a": "x", "b": "1"}] * 9 + [{"a": "x", "b": "2"}]
+        relation = Relation.from_rows(rows)
+        sketch = StatementSketch(("a",), "b")
+        # One of ten rows disagrees: needs ε >= 0.1.
+        assert fill_statement_sketch(sketch, relation, 0.05) is None
+        filled = fill_statement_sketch(sketch, relation, 0.1)
+        assert filled is not None
+        assert filled.branches[0].literal == "1"
+
+    def test_min_support_drops_rare_conditions(self):
+        rows = [{"a": "x", "b": "1"}] * 10 + [{"a": "rare", "b": "2"}]
+        relation = Relation.from_rows(rows)
+        sketch = StatementSketch(("a",), "b")
+        filled = fill_statement_sketch(
+            sketch, relation, 0.0, min_support=2
+        )
+        assert filled is not None
+        assert len(filled.branches) == 1
+
+    def test_missing_determinant_not_warranted(self):
+        rows = [{"a": "x", "b": "1"}] * 5 + [{"a": None, "b": "2"}] * 5
+        relation = Relation.from_rows(rows)
+        filled = fill_statement_sketch(
+            StatementSketch(("a",), "b"), relation, 0.0
+        )
+        assert filled is not None
+        assert len(filled.branches) == 1
+
+    def test_missing_dependent_only_group_skipped(self):
+        rows = [{"a": "x", "b": None}] * 5 + [{"a": "y", "b": "1"}] * 5
+        relation = Relation.from_rows(rows)
+        filled = fill_statement_sketch(
+            StatementSketch(("a",), "b"), relation, 0.0
+        )
+        assert filled is not None
+        assert len(filled.branches) == 1
+
+    def test_multi_determinant_conditions(self, chain_relation):
+        sketch = StatementSketch(("a", "d"), "b")
+        filled = fill_statement_sketch(sketch, chain_relation, 0.05)
+        assert filled is not None
+        for branch in filled.branches:
+            assert set(branch.condition.attributes) == {"a", "d"}
+        assert statement_is_valid(filled, chain_relation, 0.05)
+
+    def test_stats_bookkeeping(self, city_relation):
+        stats = FillStats()
+        fill_statement_sketch(
+            StatementSketch(("PostalCode",), "City"),
+            city_relation,
+            0.0,
+            stats=stats,
+        )
+        assert stats.branches_considered == 5
+        assert stats.branches_kept == 5
+        assert stats.statements_filled == 1
+
+
+class TestFillProgram:
+    def test_fills_all_statements(self, city_relation):
+        sketch = ProgramSketch(
+            (
+                StatementSketch(("PostalCode",), "City"),
+                StatementSketch(("City",), "State"),
+                StatementSketch(("State",), "Country"),
+            )
+        )
+        program = fill_program_sketch(sketch, city_relation, 0.0)
+        assert len(program) == 3
+        assert program_is_valid(program, city_relation, 0.0)
+
+    def test_bottom_statements_dropped(self):
+        rows = [
+            {"a": "x", "b": str(i % 7), "c": "1"} for i in range(28)
+        ]
+        relation = Relation.from_rows(rows)
+        sketch = ProgramSketch(
+            (
+                StatementSketch(("a",), "b"),  # b is uniform given a: ⊥
+                StatementSketch(("a",), "c"),  # constant: fills
+            )
+        )
+        program = fill_program_sketch(sketch, relation, 0.01)
+        assert program.dependents == ("c",)
+
+    def test_cache_shares_fills(self, city_relation):
+        sketch = ProgramSketch(
+            (
+                StatementSketch(("PostalCode",), "City"),
+                StatementSketch(("City",), "State"),
+            )
+        )
+        cache = FillCache()
+        stats = FillStats()
+        fill_program_sketch(
+            sketch, city_relation, 0.0, cache=cache, stats=stats
+        )
+        assert stats.cache_hits == 0
+        assert len(cache) == 2
+        fill_program_sketch(
+            sketch, city_relation, 0.0, cache=cache, stats=stats
+        )
+        assert stats.cache_hits == 2
+
+    def test_cache_stores_bottoms(self):
+        rows = [{"a": "x", "b": str(i % 5)} for i in range(20)]
+        relation = Relation.from_rows(rows)
+        sketch = ProgramSketch((StatementSketch(("a",), "b"),))
+        cache = FillCache()
+        stats = FillStats()
+        fill_program_sketch(sketch, relation, 0.0, cache=cache, stats=stats)
+        fill_program_sketch(sketch, relation, 0.0, cache=cache, stats=stats)
+        assert stats.cache_hits == 1
+
+    def test_empty_sketch_yields_empty_program(self, city_relation):
+        program = fill_program_sketch(
+            ProgramSketch(()), city_relation, 0.0
+        )
+        assert not program

@@ -1,0 +1,118 @@
+"""Tests for LNT/GNT checks (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.pgm import CITester
+from repro.sketch import ProgramSketch, SketchJudge, StatementSketch, compound_codes
+
+
+def make_judge(columns: dict[str, np.ndarray], alpha=0.01) -> SketchJudge:
+    names = list(columns)
+    codes = np.column_stack([columns[n] for n in names])
+    return SketchJudge(CITester(codes, names, alpha=alpha))
+
+
+@pytest.fixture
+def postal_data(rng):
+    """PostalCode -> City -> State (the Example 4.1 setting).
+
+    A little exogenous noise on each mechanism keeps the data faithful
+    to the chain — a perfectly deterministic chain would make the child
+    constant given its parent, hiding conditional dependencies from any
+    statistical test.
+    """
+    postal = rng.integers(0, 6, size=4000).astype(np.int32)
+    city_noise = (rng.random(4000) < 0.03).astype(np.int32)
+    city = ((postal // 2) + city_noise).astype(np.int32)
+    state_noise = (rng.random(4000) < 0.03).astype(np.int32)
+    state = ((city // 2) + state_noise).astype(np.int32)
+    return {"postal": postal, "city": city, "state": state}
+
+
+class TestCompoundCodes:
+    def test_distinct_combos_get_distinct_codes(self):
+        a = np.array([0, 0, 1, 1], dtype=np.int32)
+        b = np.array([0, 1, 0, 1], dtype=np.int32)
+        compound = compound_codes([a, b])
+        assert len(set(compound.tolist())) == 4
+
+    def test_missing_propagates(self):
+        a = np.array([0, -1], dtype=np.int32)
+        b = np.array([0, 0], dtype=np.int32)
+        compound = compound_codes([a, b])
+        assert compound[1] == -1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compound_codes([])
+
+
+class TestLNT:
+    def test_dependent_pair_is_lnt(self, postal_data):
+        judge = make_judge(postal_data)
+        assert judge.is_lnt(StatementSketch(("postal",), "city"))
+
+    def test_independent_pair_is_not_lnt(self, rng):
+        judge = make_judge(
+            {
+                "a": rng.integers(0, 3, 2000).astype(np.int32),
+                "b": rng.integers(0, 3, 2000).astype(np.int32),
+            }
+        )
+        assert not judge.is_lnt(StatementSketch(("a",), "b"))
+
+    def test_joint_determinant_set(self, rng):
+        a = rng.integers(0, 2, 3000).astype(np.int32)
+        b = rng.integers(0, 2, 3000).astype(np.int32)
+        c = ((a + b) % 2).astype(np.int32)  # XOR: depends jointly only
+        judge = make_judge({"a": a, "b": b, "c": c})
+        assert judge.is_lnt(StatementSketch(("a", "b"), "c"))
+        assert not judge.is_lnt(StatementSketch(("a",), "c"))
+
+
+class TestGNT:
+    def test_example_4_1_redundant_sketch_rejected(self, postal_data):
+        """GIVEN postal ON state is not GNT next to GIVEN city ON state."""
+        judge = make_judge(postal_data)
+        s_postal_state = StatementSketch(("postal",), "state")
+        s_city_state = StatementSketch(("city",), "state")
+        program = ProgramSketch((s_postal_state, s_city_state))
+        assert judge.is_lnt(s_postal_state)  # individually fine
+        assert not judge.statement_is_gnt(s_postal_state, program)
+
+    def test_true_structure_is_gnt(self, postal_data):
+        judge = make_judge(postal_data)
+        program = ProgramSketch(
+            (
+                StatementSketch(("postal",), "city"),
+                StatementSketch(("city",), "state"),
+            )
+        )
+        assert judge.is_gnt(program)
+
+    def test_prune_to_gnt_removes_redundancy(self, postal_data):
+        judge = make_judge(postal_data)
+        bloated = ProgramSketch(
+            (
+                StatementSketch(("postal",), "city"),
+                StatementSketch(("postal",), "state"),  # redundant
+                StatementSketch(("city",), "state"),
+            )
+        )
+        pruned = judge.prune_to_gnt(bloated)
+        kept = {(s.determinants, s.dependent) for s in pruned}
+        assert (("postal",), "city") in kept
+        assert (("postal",), "state") not in kept
+
+    def test_prune_drops_non_lnt(self, rng):
+        judge = make_judge(
+            {
+                "a": rng.integers(0, 3, 2000).astype(np.int32),
+                "b": rng.integers(0, 3, 2000).astype(np.int32),
+            }
+        )
+        pruned = judge.prune_to_gnt(
+            ProgramSketch((StatementSketch(("a",), "b"),))
+        )
+        assert len(pruned) == 0

@@ -1,0 +1,150 @@
+"""Edge-case tests for the SQL expression evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.relation import Attribute, AttributeType, Relation, Schema
+from repro.sql import QueryExecutor, SqlRuntimeError
+from repro.sql.executor import Evaluator, Frame, as_bool, as_float
+
+
+@pytest.fixture
+def mixed() -> Relation:
+    schema = Schema(
+        [
+            Attribute("tag"),
+            Attribute("v", AttributeType.NUMERIC),
+        ]
+    )
+    return Relation.from_rows(
+        [
+            {"tag": "a", "v": 1.0},
+            {"tag": "b", "v": 0.0},
+            {"tag": None, "v": None},
+        ],
+        schema=schema,
+    )
+
+
+@pytest.fixture
+def executor(mixed) -> QueryExecutor:
+    return QueryExecutor({"t": mixed})
+
+
+class TestCoercions:
+    def test_as_float_handles_junk(self):
+        values = np.array(["1.5", "zzz", None, True, 2], dtype=object)
+        out = as_float(values)
+        assert out[0] == 1.5
+        assert np.isnan(out[1])
+        assert np.isnan(out[2])
+        assert out[3] == 1.0
+        assert out[4] == 2.0
+
+    def test_as_bool_none_is_false(self):
+        values = np.array([None, "", "x", 0, 1], dtype=object)
+        assert as_bool(values).tolist() == [False, False, True, False, True]
+
+    def test_numeric_string_comparison(self, executor):
+        result = executor.execute("SELECT COUNT(*) FROM t WHERE v = 1")
+        assert result.scalar() == 1
+
+
+class TestNullSemantics:
+    def test_equality_with_null_is_false(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) AS n FROM t WHERE tag = 'a' OR tag = 'b'"
+        )
+        assert result.scalar() == 2
+
+    def test_case_default_null(self, executor):
+        result = executor.execute(
+            "SELECT CASE WHEN v > 0 THEN 'pos' END AS sign FROM t"
+        )
+        assert result.column("sign") == ["pos", None, None]
+
+    def test_arithmetic_with_null_is_nan(self, executor):
+        result = executor.execute("SELECT SUM(v + 1) AS s FROM t")
+        assert result.scalar() == pytest.approx(3.0)  # NaN row dropped
+
+    def test_division_by_zero(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) AS n FROM t WHERE 1 / v > 0"
+        )
+        # 1/0 = inf (excluded by > nothing), 1/1 = 1 passes.
+        assert result.scalar() >= 1
+
+
+class TestEvaluatorDirect:
+    def test_alias_cycle_detected(self, mixed):
+        from repro.sql.ast import BinaryOp, ColumnRef, LiteralExpr
+
+        frame = Frame(mixed)
+        # alias "x" refers to itself.
+        evaluator = Evaluator(frame, {"x": ColumnRef("x")})
+        with pytest.raises(SqlRuntimeError, match="unknown column"):
+            evaluator.eval(ColumnRef("x"))
+
+    def test_predict_without_materialization(self, mixed):
+        from repro.sql.ast import Predict
+
+        evaluator = Evaluator(Frame(mixed))
+        with pytest.raises(SqlRuntimeError, match="not materialized"):
+            evaluator.eval(Predict("m"))
+
+    def test_aggregate_in_row_context_rejected(self, mixed):
+        from repro.sql.ast import FunctionCall
+
+        evaluator = Evaluator(Frame(mixed))
+        with pytest.raises(SqlRuntimeError, match="GROUP BY"):
+            evaluator.eval(FunctionCall("avg", (), star=False))
+
+    def test_unknown_function(self, executor):
+        with pytest.raises(SqlRuntimeError, match="unknown function"):
+            executor.execute("SELECT frobnicate(v) FROM t")
+
+
+class TestSortEdgeCases:
+    def test_sort_mixed_none_last(self, executor):
+        result = executor.execute("SELECT tag FROM t ORDER BY tag")
+        assert result.column("tag") == ["a", "b", None]
+
+    def test_order_by_unknown_column(self, executor):
+        with pytest.raises(SqlRuntimeError, match="ORDER BY"):
+            executor.execute("SELECT tag FROM t ORDER BY nope")
+
+    def test_multi_key_sort(self, mixed):
+        relation = Relation.from_rows(
+            [
+                {"g": "x", "r": "2"},
+                {"g": "y", "r": "1"},
+                {"g": "x", "r": "1"},
+            ]
+        )
+        executor = QueryExecutor({"t": relation})
+        result = executor.execute(
+            "SELECT g, r FROM t ORDER BY g ASC, r DESC"
+        )
+        assert result.rows == [("x", "2"), ("x", "1"), ("y", "1")]
+
+
+class TestInListAndBoolean:
+    def test_in_list_with_null_operand(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) AS n FROM t WHERE tag IN ('a')"
+        )
+        assert result.scalar() == 1
+
+    def test_not_in_excludes_matches_only(self, executor):
+        # NULL rows pass NOT IN here (three-valued logic simplified to
+        # two-valued: unknown comparisons are false, so NOT flips them).
+        result = executor.execute(
+            "SELECT COUNT(*) AS n FROM t WHERE tag NOT IN ('a')"
+        )
+        assert result.scalar() == 2
+
+    def test_boolean_literal_comparison(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) AS n FROM t WHERE TRUE"
+        )
+        assert result.scalar() == 3

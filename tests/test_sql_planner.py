@@ -1,0 +1,110 @@
+"""Tests for the logical planner and predicate pushdown."""
+
+from repro.sql import parse_query, plan_query, split_conjuncts
+from repro.sql.parser import parse_expression
+from repro.sql.planner import (
+    Aggregate,
+    Filter,
+    Guard,
+    Limit,
+    PredictStage,
+    Project,
+    Scan,
+    Sort,
+)
+
+
+def stage_types(plan):
+    return [type(s) for s in plan.stages]
+
+
+class TestSplitConjuncts:
+    def test_flattens_nested_ands(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+
+class TestPlanShapes:
+    def test_simple_projection(self):
+        plan = plan_query(parse_query("SELECT a FROM t"))
+        assert stage_types(plan) == [Scan, Project]
+
+    def test_filtered_aggregate(self):
+        plan = plan_query(
+            parse_query("SELECT COUNT(*) FROM t WHERE a = 1")
+        )
+        assert stage_types(plan) == [Scan, Filter, Aggregate]
+
+    def test_order_and_limit(self):
+        plan = plan_query(
+            parse_query("SELECT a FROM t ORDER BY a LIMIT 3")
+        )
+        assert stage_types(plan) == [Scan, Project, Sort, Limit]
+
+    def test_predict_stage_inserted(self):
+        plan = plan_query(parse_query("SELECT PREDICT(m) FROM t"))
+        assert PredictStage in stage_types(plan)
+
+    def test_guard_before_predict(self):
+        plan = plan_query(
+            parse_query("SELECT PREDICT(m) FROM t"),
+            guard_strategy="rectify",
+        )
+        types = stage_types(plan)
+        assert types.index(Guard) < types.index(PredictStage)
+
+    def test_no_guard_without_strategy(self):
+        plan = plan_query(parse_query("SELECT PREDICT(m) FROM t"))
+        assert Guard not in stage_types(plan)
+
+
+class TestPredicatePushdown:
+    def test_plain_predicates_pushed_before_predict(self):
+        plan = plan_query(
+            parse_query(
+                "SELECT PREDICT(m) FROM t "
+                "WHERE a = 1 AND PREDICT(m) = 'x'"
+            )
+        )
+        types = stage_types(plan)
+        first_filter = types.index(Filter)
+        predict_at = types.index(PredictStage)
+        assert first_filter < predict_at
+        filters = [s for s in plan.stages if isinstance(s, Filter)]
+        assert len(filters) == 2
+        assert filters[0].pushed_down
+        assert not filters[1].pushed_down
+
+    def test_predict_only_predicate_stays_post(self):
+        plan = plan_query(
+            parse_query("SELECT a FROM t WHERE PREDICT(m) = 'x'")
+        )
+        types = stage_types(plan)
+        assert types.index(PredictStage) < types.index(Filter)
+
+    def test_describe_mentions_pushdown(self):
+        plan = plan_query(
+            parse_query(
+                "SELECT PREDICT(m) FROM t WHERE a = 1"
+            ),
+            guard_strategy="rectify",
+        )
+        text = plan.describe()
+        assert "pushed down" in text
+        assert "Guard" in text
+
+    def test_distinct_predicts_collected_once(self):
+        plan = plan_query(
+            parse_query(
+                "SELECT PREDICT(m), COUNT(*) FROM t "
+                "WHERE PREDICT(m) = 'x' GROUP BY PREDICT(m)"
+            )
+        )
+        predict = next(
+            s for s in plan.stages if isinstance(s, PredictStage)
+        )
+        assert len(predict.predicts) == 1

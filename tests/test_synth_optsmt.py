@@ -1,0 +1,85 @@
+"""Tests for the OptSMT-style monolithic baseline (§8.3)."""
+
+import pytest
+
+from repro.dsl import program_is_valid
+from repro.pgm import DAG, random_sem
+from repro.synth import (
+    OptSmtSynthesizer,
+    SolverBudgetExceeded,
+    estimate_clause_count,
+    iter_candidate_sketches,
+)
+
+
+class TestCandidateEnumeration:
+    def test_counts_all_sketches(self):
+        sketches = list(iter_candidate_sketches(["a", "b", "c"], 2))
+        # Per dependent: C(2,1) + C(2,2) = 3; times 3 dependents.
+        assert len(sketches) == 9
+
+    def test_max_determinants_one(self):
+        sketches = list(iter_candidate_sketches(["a", "b", "c"], 1))
+        assert len(sketches) == 6
+        assert all(len(s.determinants) == 1 for s in sketches)
+
+
+class TestClauseCounting:
+    def test_closed_form(self, city_relation):
+        count = estimate_clause_count(city_relation, max_determinants=1)
+        # Per sketch: n_rows * |dom(dependent)|.
+        expected = 0
+        names = list(city_relation.schema.categorical_names())
+        for dependent in names:
+            others = len(names) - 1
+            expected += (
+                others
+                * city_relation.n_rows
+                * city_relation.cardinality(dependent)
+            )
+        assert count == expected
+
+    def test_grows_with_determinant_budget(self, city_relation):
+        one = estimate_clause_count(city_relation, 1)
+        two = estimate_clause_count(city_relation, 2)
+        assert two > one
+
+
+class TestSolver:
+    def test_finds_structure_on_tiny_input(self, rng):
+        dag = DAG(["a", "b"], [("a", "b")])
+        sem = random_sem(dag, 3, determinism=1.0, rng=rng)
+        relation = sem.sample(300, rng)
+        outcome = OptSmtSynthesizer(
+            epsilon=0.0, max_determinants=1, time_limit=20.0
+        ).solve(relation)
+        assert not outcome.timed_out
+        assert outcome.program
+        assert program_is_valid(outcome.program, relation, 0.0)
+        assert outcome.n_clauses > 0
+        assert outcome.nodes_explored > 0
+
+    def test_programs_are_acyclic(self, rng):
+        dag = DAG(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        sem = random_sem(dag, 3, determinism=1.0, rng=rng)
+        relation = sem.sample(400, rng)
+        outcome = OptSmtSynthesizer(
+            epsilon=0.0, max_determinants=1, time_limit=20.0
+        ).solve(relation)
+        edges = [
+            (det, s.dependent)
+            for s in outcome.program
+            for det in s.determinants
+        ]
+        DAG(list(relation.names), edges)  # raises if cyclic
+
+    def test_time_budget_reports_timeout(self, chain_relation):
+        outcome = OptSmtSynthesizer(
+            epsilon=0.05, max_determinants=2, time_limit=0.0
+        ).solve(chain_relation)
+        assert outcome.timed_out
+
+    def test_clause_budget_aborts(self, chain_relation):
+        solver = OptSmtSynthesizer(max_clauses=10)
+        with pytest.raises(SolverBudgetExceeded, match="clauses"):
+            solver.solve(chain_relation)

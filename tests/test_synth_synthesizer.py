@@ -1,0 +1,141 @@
+"""End-to-end synthesis tests (Algorithm 2 + the Guardrail facade)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import program_is_valid
+from repro.errors import DataIntegrityError
+from repro.pgm import DAG, random_sem
+from repro.sampler import IdentitySampler
+from repro.synth import Guardrail, GuardrailConfig, synthesize
+
+
+@pytest.fixture
+def config() -> GuardrailConfig:
+    return GuardrailConfig(epsilon=0.05, min_support=2, seed=3)
+
+
+class TestSynthesize:
+    def test_recovers_chain_structure(self, rng, config):
+        dag = DAG(
+            ["a", "b", "c", "d"], [("a", "b"), ("d", "b"), ("b", "c")]
+        )
+        sem = random_sem(dag, 3, determinism=0.99, rng=rng)
+        relation = sem.sample(3000, rng)
+        result = synthesize(relation, config)
+        assert result.program
+        by_dependent = {
+            s.dependent: set(s.determinants) for s in result.program
+        }
+        # The v-structure a -> b <- d is identifiable and must appear.
+        assert by_dependent.get("b") == {"a", "d"}
+
+    def test_program_is_epsilon_valid(self, chain_relation, config):
+        result = synthesize(chain_relation, config)
+        assert program_is_valid(result.program, chain_relation, config.epsilon)
+
+    def test_coverage_and_loss_reported(self, chain_relation, config):
+        result = synthesize(chain_relation, config)
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.loss >= 0
+        assert result.n_dags_enumerated >= 1
+        assert set(result.timings) == {
+            "sampling",
+            "structure_learning",
+            "enumeration_and_fill",
+        }
+        assert result.total_time > 0
+
+    def test_independent_data_yields_empty_program(self, rng, config):
+        relation_columns = {
+            name: [f"{name}{v}" for v in rng.integers(0, 3, 1500)]
+            for name in ("p", "q", "r")
+        }
+        from repro.relation import Relation
+
+        relation = Relation.from_columns(relation_columns)
+        result = synthesize(relation, config)
+        assert len(result.program) == 0
+        assert result.coverage == 0.0
+
+    def test_identity_sampler_config(self, chain_relation):
+        config = GuardrailConfig(
+            epsilon=0.05, sampler=IdentitySampler(), seed=1
+        )
+        result = synthesize(chain_relation, config)
+        assert result.pc_result.n_ci_tests > 0
+
+    def test_max_dags_respected(self, chain_relation):
+        config = GuardrailConfig(epsilon=0.05, max_dags=1)
+        result = synthesize(chain_relation, config)
+        assert result.n_dags_enumerated <= 1
+
+    def test_gnt_pruning_path(self, chain_relation):
+        config = GuardrailConfig(epsilon=0.05, prune_gnt=True)
+        result = synthesize(chain_relation, config)
+        assert program_is_valid(result.program, chain_relation, 0.05)
+
+
+class TestGuardrailFacade:
+    @pytest.fixture
+    def fitted(self, chain_relation, config) -> Guardrail:
+        return Guardrail(config).fit(chain_relation)
+
+    def test_unfitted_raises(self, config):
+        guard = Guardrail(config)
+        assert not guard.is_fitted
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = guard.program
+
+    def test_check_clean_data_mostly_passes(self, fitted, chain_relation):
+        mask = fitted.check(chain_relation)
+        assert mask.mean() < 0.1
+
+    def test_check_flags_corruption(self, fitted, chain_relation):
+        dependents = set(fitted.program.dependents)
+        assert dependents, "need a non-empty program"
+        target = next(iter(dependents))
+        corrupted = chain_relation.set_cell(0, target, "garbage-value")
+        assert fitted.check(corrupted)[0]
+
+    def test_check_row(self, fitted, chain_relation):
+        row = chain_relation.row(0)
+        flagged_clean = fitted.check_row(row)
+        assert flagged_clean == bool(fitted.check(chain_relation)[0])
+
+    def test_raise_strategy(self, fitted, chain_relation):
+        dependents = set(fitted.program.dependents)
+        target = next(iter(dependents))
+        corrupted = chain_relation.set_cell(0, target, "garbage-value")
+        with pytest.raises(DataIntegrityError):
+            fitted.handle(corrupted, "raise")
+
+    def test_rectify_restores_corruption(self, fitted, chain_relation):
+        target = fitted.program.dependents[0]
+        original = chain_relation.value(0, target)
+        corrupted = chain_relation.set_cell(0, target, "garbage-value")
+        repaired = fitted.rectify(corrupted)
+        assert repaired.value(0, target) == original
+
+    def test_describe_mentions_counts(self, fitted):
+        text = fitted.describe()
+        assert "statements" in text
+        assert "coverage" in text
+
+
+class TestConfigValidation:
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            GuardrailConfig(epsilon=1.0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            GuardrailConfig(alpha=0.0)
+
+    def test_bad_max_dags(self):
+        with pytest.raises(ValueError):
+            GuardrailConfig(max_dags=0)
+
+    def test_bad_min_support(self):
+        with pytest.raises(ValueError):
+            GuardrailConfig(min_support=0)
