@@ -8,9 +8,18 @@ dataset sizes, or ``REPRO_SCALE_ROWS=<n>`` to pick a custom cap.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.experiments import ExperimentContext
+# Make `pytest benchmarks/` work from a clean checkout: the package
+# lives in src/ and is not necessarily pip-installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentContext  # noqa: E402
 
 
 def pytest_configure(config):

@@ -11,6 +11,7 @@ Run:  python examples/streaming_guard.py
 
 import numpy as np
 
+from repro import obs
 from repro.datasets import load
 from repro.errors import RowGuard, inject_errors
 from repro.ml import NaiveBayes
@@ -39,22 +40,25 @@ def main() -> None:
         serving, rate=0.05, attributes=constrained, rng=rng
     ).relation
 
+    # Trace the serving loop: every check/rectify emits a latency
+    # sample and a verdict record into the in-memory sink.
     repaired_predictions = 0
-    for index in range(feed.n_rows):
-        row = feed.row(index)
-        verdict = guard.check(row)
-        if not verdict.ok:
-            fixed = guard.rectify(row)
-            before = model.predict_values(feed.take([index]))[0]
-            after_relation = feed.take([index])
-            for name, value in fixed.items():
-                if value != row[name]:
-                    after_relation = after_relation.set_cell(
-                        0, name, value
-                    )
-            after = model.predict_values(after_relation)[0]
-            if before != after:
-                repaired_predictions += 1
+    with obs.tracing() as sink:
+        for index in range(feed.n_rows):
+            row = feed.row(index)
+            verdict = guard.check(row)
+            if not verdict.ok:
+                fixed = guard.rectify(row)
+                before = model.predict_values(feed.take([index]))[0]
+                after_relation = feed.take([index])
+                for name, value in fixed.items():
+                    if value != row[name]:
+                        after_relation = after_relation.set_cell(
+                            0, name, value
+                        )
+                after = model.predict_values(after_relation)[0]
+                if before != after:
+                    repaired_predictions += 1
 
     stats = guard.stats
     print(
@@ -69,6 +73,10 @@ def main() -> None:
         stats.violations_by_attribute.items(), key=lambda kv: -kv[1]
     ):
         print(f"  {name:<20} {count}")
+
+    # The same session, as the obs dashboard sees it (per-row latency
+    # percentiles come from the trace, not from GuardStats).
+    print("\n" + obs.render_report(sink.events))
 
 
 if __name__ == "__main__":

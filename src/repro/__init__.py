@@ -8,6 +8,7 @@ are re-exported here; see the subpackages for the full API:
 >>> repaired = guard.rectify(read_csv("serving.csv"))
 """
 
+from . import obs
 from .dsl import Program, format_program, parse_program
 from .errors import Strategy, detect_errors, inject_errors
 from .relation import Relation, read_csv, write_csv
@@ -16,6 +17,7 @@ from .synth import Guardrail, GuardrailConfig, SynthesisResult, synthesize
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Guardrail",
     "GuardrailConfig",
     "SynthesisResult",

@@ -36,6 +36,7 @@ class RangeConstraint:
     high: float
 
     def violations(self, values: np.ndarray) -> np.ndarray:
+        """Mask of rows outside ``[low, high]`` (NaN never violates)."""
         with np.errstate(invalid="ignore"):
             out = (values < self.low) | (values > self.high)
         return out & ~np.isnan(values)
@@ -58,11 +59,13 @@ class LinearConstraint:
     def residuals(
         self, x_values: np.ndarray, y_values: np.ndarray
     ) -> np.ndarray:
+        """Signed residuals ``y - (slope*x + intercept)`` per row."""
         return y_values - (self.slope * x_values + self.intercept)
 
     def violations(
         self, x_values: np.ndarray, y_values: np.ndarray
     ) -> np.ndarray:
+        """Mask of rows whose absolute residual exceeds the bound."""
         residual = self.residuals(x_values, y_values)
         with np.errstate(invalid="ignore"):
             out = np.abs(residual) > self.bound
@@ -98,6 +101,7 @@ class ConformanceGuard:
     linears: list[LinearConstraint] = field(default_factory=list)
 
     def fit(self, relation: Relation) -> "ConformanceGuard":
+        """Mine range and linear conformance constraints from ``relation``."""
         names = list(relation.schema.numeric_names())
         self.ranges = []
         self.linears = []
@@ -150,6 +154,7 @@ class ConformanceGuard:
 
     @property
     def n_constraints(self) -> int:
+        """Total number of mined constraints."""
         return len(self.ranges) + len(self.linears)
 
     def check(self, relation: Relation) -> np.ndarray:
@@ -172,6 +177,7 @@ class ConformanceGuard:
         return mask
 
     def describe(self) -> str:
+        """Human-readable listing of every mined constraint."""
         lines = [
             f"ConformanceGuard: {len(self.ranges)} range + "
             f"{len(self.linears)} linear constraints"

@@ -40,6 +40,7 @@ class ConstantCFD:
     confidence: float
 
     def pattern(self) -> tuple[tuple[str, object], ...]:
+        """The LHS as (attribute, value) pairs."""
         return tuple(zip(self.lhs, self.values))
 
     def __str__(self) -> str:
@@ -51,6 +52,7 @@ class ConstantCFD:
 
 @dataclass
 class CTaneResult:
+    """Mined constant CFDs plus search bookkeeping."""
     cfds: list[ConstantCFD] = field(default_factory=list)
     patterns_checked: int = 0
 
@@ -138,6 +140,7 @@ class CFDErrorDetector:
         self.cfds = list(cfds)
 
     def detect(self, relation: Relation) -> np.ndarray:
+        """Mask of rows violating any mined constant CFD."""
         mask = np.zeros(relation.n_rows, dtype=bool)
         for cfd in self.cfds:
             rows = np.ones(relation.n_rows, dtype=bool)

@@ -72,6 +72,7 @@ class StrippedPartition:
 
     @property
     def n_classes(self) -> int:
+        """Number of equivalence classes in the partition."""
         return len(self.classes)
 
     @property

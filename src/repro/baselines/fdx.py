@@ -40,6 +40,7 @@ class FdxIllConditioned(RuntimeError):
 
 @dataclass
 class FdxResult:
+    """Learned FDs plus the regression diagnostics behind them."""
     fds: list[FD] = field(default_factory=list)
     coefficient_matrix: np.ndarray | None = None
     residual_variances: dict[str, float] = field(default_factory=dict)

@@ -8,6 +8,11 @@ rectify     program + CSV → repaired CSV
 datasets    list the 12 dataset twins, or export one as CSV
 to-sql      program → SQL (audit query / CHECK clauses / UPDATEs)
 experiment  regenerate one or all of the paper's tables/figures
+obs         observability: render a trace file into a report
+
+``synthesize``, ``check``, ``rectify``, and ``experiment`` accept
+``--trace PATH`` to record a structured JSONL trace of the run
+(:mod:`repro.obs`); ``obs report PATH`` renders it.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from .synth import GuardrailConfig, synthesize
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (one subcommand per verb)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -38,9 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace", type=Path, metavar="PATH",
+            help="record a JSONL observability trace of this run",
+        )
+
     synth = sub.add_parser(
         "synthesize", help="synthesize a DSL program from a CSV file"
     )
+    add_trace_flag(synth)
     synth.add_argument("csv", type=Path, help="input data (CSV with header)")
     synth.add_argument(
         "-o", "--output", type=Path, help="write the program here"
@@ -66,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check", help="report rows of a CSV violating a saved program"
     )
+    add_trace_flag(check)
     check.add_argument("program", type=Path, help="saved DSL program")
     check.add_argument("csv", type=Path, help="data to vet")
     check.add_argument(
@@ -76,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     rectify = sub.add_parser(
         "rectify", help="repair a CSV against a saved program"
     )
+    add_trace_flag(rectify)
     rectify.add_argument("program", type=Path)
     rectify.add_argument("csv", type=Path)
     rectify.add_argument(
@@ -132,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--scale-rows", type=int, default=None,
         help="row cap per dataset (default: REPRO_SCALE_ROWS or 2400)",
+    )
+    add_trace_flag(experiment)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability utilities (see repro.obs)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="render a JSONL trace: phase timings, metrics, guard "
+        "dashboard",
+    )
+    report.add_argument(
+        "trace", type=Path, help="trace file written by --trace"
     )
 
     return parser
@@ -269,6 +298,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_report
+
+    if not args.trace.exists():
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        print(render_report(args.trace))
+    except json.JSONDecodeError as error:
+        print(
+            f"not a valid JSONL trace: {args.trace} ({error})",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "check": _cmd_check,
@@ -276,13 +324,35 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "to-sql": _cmd_to_sql,
     "experiment": _cmd_experiment,
+    "obs": _cmd_obs,
 }
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, tracing it when ``--trace`` was given."""
+    trace_path = getattr(args, "trace", None)
+    if args.command == "obs" or trace_path is None:
+        return _COMMANDS[args.command](args)
+    from . import obs
+
+    try:
+        sink = obs.JsonlSink(trace_path)
+    except OSError as error:
+        print(f"cannot write trace to {trace_path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        with obs.tracing(sink):
+            return _COMMANDS[args.command](args)
+    finally:
+        sink.close()
+        print(f"trace written to {trace_path}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _dispatch(args)
     except BrokenPipeError:  # e.g. piped into `head`
         return 0
 

@@ -34,9 +34,11 @@ class NetworkSpec:
     seed: int = 0
 
     def dag(self) -> DAG:
+        """The network structure as a DAG."""
         return DAG(self.attributes, self.edges)
 
     def cardinality_map(self) -> dict[str, int]:
+        """Node name -> outcome cardinality."""
         return {
             name: self.cardinalities.get(name, self.default_cardinality)
             for name in self.attributes

@@ -29,6 +29,7 @@ class BenchQuery:
 
     @property
     def name(self) -> str:
+        """Short identifier of the benchmark query."""
         return f"D{self.dataset_id}-Q{self.index}"
 
 

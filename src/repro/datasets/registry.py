@@ -77,16 +77,20 @@ class Dataset:
 
     @property
     def name(self) -> str:
+        """The dataset twin's display name."""
         return self.spec.name
 
     @property
     def target(self) -> str:
+        """The prediction-target attribute."""
         return self.spec.target
 
     def feature_names(self) -> list[str]:
+        """Attribute names used as model features (all but the target)."""
         return [n for n in self.relation.names if n != self.spec.target]
 
     def ground_truth_dag(self):
+        """The generating SEM's DAG (evaluation ground truth)."""
         return self.sem.dag
 
 

@@ -50,9 +50,11 @@ class Condition:
 
     @property
     def attributes(self) -> tuple[str, ...]:
+        """The attributes the condition constrains."""
         return tuple(name for name, _ in self.atoms)
 
     def value_of(self, attribute: str) -> Literal:
+        """The literal this condition requires ``attribute`` to equal."""
         for name, literal in self.atoms:
             if name == attribute:
                 return literal
@@ -146,10 +148,12 @@ class Program:
 
     @classmethod
     def of(cls, statements: Iterable[Statement]) -> "Program":
+        """Build a program from an iterable of statements."""
         return cls(tuple(statements))
 
     @classmethod
     def empty(cls) -> "Program":
+        """The program with no statements."""
         return cls(())
 
     def __iter__(self) -> Iterator[Statement]:
@@ -168,6 +172,7 @@ class Program:
 
     @property
     def dependents(self) -> tuple[str, ...]:
+        """Dependent attribute of each statement, in order."""
         return tuple(s.dependent for s in self.statements)
 
     def statement_for(self, dependent: str) -> Statement | None:

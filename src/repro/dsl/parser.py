@@ -188,6 +188,7 @@ def parse_statement(text: str) -> Statement:
 
 
 def format_literal(literal: Literal) -> str:
+    """Render a literal as DSL source text."""
     if isinstance(literal, bool):
         return "TRUE" if literal else "FALSE"
     if literal is None:
@@ -201,12 +202,14 @@ def format_literal(literal: Literal) -> str:
 
 
 def format_condition(condition: Condition) -> str:
+    """Render a condition as DSL source text."""
     return " AND ".join(
         f"{name} = {format_literal(value)}" for name, value in condition.atoms
     )
 
 
 def format_branch(branch: Branch) -> str:
+    """Render one IF/THEN branch as DSL source text."""
     return (
         f"IF {format_condition(branch.condition)} "
         f"THEN {branch.dependent} <- {format_literal(branch.literal)}"
@@ -214,6 +217,7 @@ def format_branch(branch: Branch) -> str:
 
 
 def format_statement(statement: Statement) -> str:
+    """Render one GIVEN/ON/HAVING statement as DSL source text."""
     head = (
         f"GIVEN {', '.join(statement.determinants)} "
         f"ON {statement.dependent} HAVING"
@@ -223,4 +227,5 @@ def format_statement(statement: Statement) -> str:
 
 
 def format_program(program: Program) -> str:
+    """Render a whole program as round-trippable DSL source text."""
     return ";\n".join(format_statement(s) for s in program.statements)

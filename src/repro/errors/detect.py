@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..dsl import Branch, Program, branch_masks
 from ..relation import Relation
 
@@ -27,10 +28,12 @@ class Violation:
 
     @property
     def attribute(self) -> str:
+        """The dependent attribute the violated branch writes."""
         return self.branch.dependent
 
     @property
     def expected(self) -> object:
+        """The literal the violated branch expects."""
         return self.branch.literal
 
 
@@ -43,12 +46,15 @@ class DetectionResult:
 
     @property
     def n_flagged_rows(self) -> int:
+        """Number of rows violating at least one branch."""
         return int(np.count_nonzero(self.row_mask))
 
     def flagged_rows(self) -> np.ndarray:
+        """Indices of the violating rows."""
         return np.nonzero(self.row_mask)[0]
 
     def by_row(self) -> dict[int, list[Violation]]:
+        """Violations grouped by row index."""
         out: dict[int, list[Violation]] = {}
         for violation in self.violations:
             out.setdefault(violation.row, []).append(violation)
@@ -61,14 +67,23 @@ class DetectionResult:
 
 def detect_errors(program: Program, relation: Relation) -> DetectionResult:
     """Find every (row, branch) violation, vectorized per branch."""
-    row_mask = np.zeros(relation.n_rows, dtype=bool)
-    violations: list[Violation] = []
-    for statement in program:
-        for branch in statement.branches:
-            _, violating = branch_masks(branch, relation)
-            if not violating.any():
-                continue
-            row_mask |= violating
-            for row in np.nonzero(violating)[0]:
-                violations.append(Violation(int(row), branch))
+    with obs.span(
+        "errors.detect",
+        n_rows=relation.n_rows,
+        n_statements=len(program),
+    ) as detect_span:
+        row_mask = np.zeros(relation.n_rows, dtype=bool)
+        violations: list[Violation] = []
+        for statement in program:
+            for branch in statement.branches:
+                _, violating = branch_masks(branch, relation)
+                if not violating.any():
+                    continue
+                row_mask |= violating
+                for row in np.nonzero(violating)[0]:
+                    violations.append(Violation(int(row), branch))
+        detect_span.set(
+            flagged_rows=int(np.count_nonzero(row_mask)),
+            violations=len(violations),
+        )
     return DetectionResult(row_mask=row_mask, violations=violations)

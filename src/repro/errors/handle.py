@@ -43,6 +43,7 @@ class Strategy(enum.Enum):
 
     @classmethod
     def parse(cls, value: "Strategy | str") -> "Strategy":
+        """Coerce a string (or Strategy) into a Strategy member."""
         if isinstance(value, Strategy):
             return value
         try:
@@ -65,6 +66,7 @@ class HandlingOutcome:
 
     @property
     def n_changed(self) -> int:
+        """Number of cells the strategy modified."""
         return len(self.cells_changed)
 
 

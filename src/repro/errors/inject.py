@@ -40,9 +40,11 @@ class InjectionReport:
 
     @property
     def n_errors(self) -> int:
+        """Number of injected errors."""
         return len(self.errors)
 
     def error_rows(self) -> set[int]:
+        """Row indices that received at least one injected error."""
         return {e.row for e in self.errors}
 
 

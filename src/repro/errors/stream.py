@@ -16,9 +16,11 @@ branches the program has.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+from .. import obs
 from ..dsl import Program
 
 
@@ -52,6 +54,7 @@ class GuardStats:
 
     @property
     def violation_rate(self) -> float:
+        """Fraction of checked rows that were flagged."""
         if self.rows_checked == 0:
             return 0.0
         return self.rows_flagged / self.rows_checked
@@ -81,7 +84,14 @@ class RowGuard:
     # ------------------------------------------------------------------
 
     def check(self, row: Mapping[str, Hashable]) -> RowVerdict:
-        """Vet one row; O(#statements) hash probes."""
+        """Vet one row; O(#statements) hash probes.
+
+        With tracing enabled (:mod:`repro.obs`) each call also emits a
+        latency sample and a tripwire-style ``guard.verdict`` record;
+        disabled, the only overhead is one flag check.
+        """
+        traced = obs.enabled()
+        start = time.perf_counter() if traced else 0.0
         verdict = self._verdict(row)
         self.stats.rows_checked += 1
         if not verdict.ok:
@@ -91,6 +101,15 @@ class RowGuard:
                     self.stats.violations_by_attribute.get(attribute, 0)
                     + 1
                 )
+        if traced:
+            obs.observe(
+                "guard.check_seconds", time.perf_counter() - start
+            )
+            obs.record(
+                "guard.verdict",
+                ok=verdict.ok,
+                attributes=[a for a, _ in verdict.violations],
+            )
         return verdict
 
     def _verdict(self, row: Mapping[str, Hashable]) -> RowVerdict:
@@ -115,6 +134,8 @@ class RowGuard:
         """
         from .handle import _program_domains, _repair_row
 
+        traced = obs.enabled()
+        start = time.perf_counter() if traced else 0.0
         verdict = self._verdict(row)
         if verdict.ok:
             return dict(row)
@@ -124,6 +145,13 @@ class RowGuard:
             self.program, repaired, _program_domains(self.program)
         )
         repaired.update(changes)
+        if traced:
+            obs.observe(
+                "guard.rectify_seconds", time.perf_counter() - start
+            )
+            obs.record(
+                "guard.rectify", attributes=sorted(changes)
+            )
         return repaired
 
     def process(

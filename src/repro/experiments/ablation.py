@@ -19,6 +19,7 @@ from .harness import ExperimentContext, Prepared, format_table, prepare
 
 @dataclass
 class AblationRow:
+    """Table 8 row: auxiliary vs identity sampler on one dataset."""
     dataset_id: int
     dataset_name: str
     coverage_identity: float
@@ -26,6 +27,7 @@ class AblationRow:
 
     @property
     def auxiliary_wins(self) -> bool:
+        """Did the auxiliary sampler beat the identity sampler?"""
         return self.coverage_auxiliary >= self.coverage_identity
 
 
@@ -49,6 +51,7 @@ def run_sampler_ablation(
     context: ExperimentContext,
     prepared: Prepared | None = None,
 ) -> AblationRow:
+    """Run the Table 8 protocol on one dataset."""
     prepared = prepared or prepare(dataset_key, context)
     with_aux = synthesize(
         prepared.train,
@@ -69,6 +72,7 @@ def run_sampler_ablation(
 def run_table8(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[AblationRow]:
+    """Run the sampler ablation across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -76,6 +80,7 @@ def run_table8(
 
 
 def format_table8(rows: list[AblationRow]) -> str:
+    """Render Table 8 as plain text."""
     headers = ["Dataset ID"] + [str(r.dataset_id) for r in rows]
     body = [
         ["w/o Auxiliary Sampler"]

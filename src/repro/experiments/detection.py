@@ -27,6 +27,7 @@ from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, p
 
 @dataclass
 class DetectionScores:
+    """Precision/recall/F1/MCC of one detector on one dataset."""
     f1: float | None
     mcc: float | None
     flagged: int = 0
@@ -35,6 +36,7 @@ class DetectionScores:
     def from_masks(
         cls, predicted: np.ndarray, actual: np.ndarray
     ) -> "DetectionScores":
+        """Score a predicted violation mask against ground truth."""
         counts = confusion(predicted, actual)
         return cls(
             f1=f1_score(counts),
@@ -44,11 +46,13 @@ class DetectionScores:
 
     @classmethod
     def failed(cls) -> "DetectionScores":
+        """Sentinel scores for a method that crashed or was skipped."""
         return cls(f1=None, mcc=None)
 
 
 @dataclass
 class DetectionRow:
+    """Table 3 row: per-method detection scores on one dataset."""
     dataset_id: int
     dataset_name: str
     guardrail: DetectionScores
@@ -57,6 +61,7 @@ class DetectionRow:
     fdx: DetectionScores
 
     def methods(self) -> dict[str, DetectionScores]:
+        """Method name -> scores, in report order."""
         return {
             "Guardrail": self.guardrail,
             "TANE": self.tane,
@@ -70,6 +75,7 @@ def run_detection(
     context: ExperimentContext,
     prepared: Prepared | None = None,
 ) -> DetectionRow:
+    """Run the Table 3 protocol on one dataset."""
     prepared = prepared or prepare(dataset_key, context)
     truth = prepared.injection.row_mask
     dirty = prepared.test_dirty
@@ -122,6 +128,7 @@ def run_detection(
 def run_table3(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[DetectionRow]:
+    """Run error detection across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -129,6 +136,7 @@ def run_table3(
 
 
 def format_table3(rows: list[DetectionRow]) -> str:
+    """Render Table 3 as plain text."""
     headers = ["Dataset", "Metric", "Guardrail", "TANE", "CTANE", "FDX"]
     body: list[list[object]] = []
     for row in rows:

@@ -18,6 +18,7 @@ DEFAULT_EPSILONS: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2)
 
 @dataclass
 class EpsilonPoint:
+    """One (dataset, epsilon) point of Figure 7: coverage vs loss."""
     dataset_id: int
     epsilon: float
     coverage: float
@@ -31,6 +32,7 @@ def run_epsilon_sweep(
     epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
     prepared: Prepared | None = None,
 ) -> list[EpsilonPoint]:
+    """Sweep epsilon on one dataset (Figure 7 protocol)."""
     prepared = prepared or prepare(dataset_key, context)
     n_rows = max(prepared.train.n_rows, 1)
     points = []
@@ -55,6 +57,7 @@ def run_figure7(
     dataset_ids: list[int] | None = None,
     epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
 ) -> list[EpsilonPoint]:
+    """Run the epsilon sweep across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -65,6 +68,7 @@ def run_figure7(
 
 
 def format_figure7(points: list[EpsilonPoint]) -> str:
+    """Render the Figure 7 series as plain text."""
     headers = ["Dataset", "epsilon", "coverage", "loss rate", "#stmts"]
     body = [
         [p.dataset_id, p.epsilon, p.coverage, p.loss_rate, p.n_statements]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..datasets import Dataset, DatasetSpec, get_spec, load
 from ..errors import InjectionReport, inject_errors
 from ..relation import Relation
@@ -51,6 +52,7 @@ class ExperimentContext:
     min_support: int = 4
 
     def guardrail_config(self, **overrides) -> GuardrailConfig:
+        """A GuardrailConfig from the context's knobs plus overrides."""
         parameters = dict(
             epsilon=self.epsilon,
             alpha=self.alpha,
@@ -63,6 +65,7 @@ class ExperimentContext:
         return GuardrailConfig(**parameters)
 
     def rows_for(self, spec: DatasetSpec) -> int:
+        """Row count to load for a dataset under the current scale cap."""
         if self.scale_rows is None:
             return spec.n_rows
         return min(spec.n_rows, self.scale_rows)
@@ -91,10 +94,12 @@ class Prepared:
 
     @property
     def test_dirty(self) -> Relation:
+        """The test split with injected errors (the serving feed)."""
         return self.injection.relation
 
     @property
     def spec(self) -> DatasetSpec:
+        """The dataset's registry spec."""
         return self.dataset.spec
 
 
@@ -111,25 +116,28 @@ def prepare(
     """
     spec = get_spec(dataset_key)
     rng = np.random.default_rng(context.seed + spec.id)
-    dataset = load(spec.id, n_rows=context.rows_for(spec), seed=context.seed)
-    train, test_clean = dataset.relation.split(
-        context.train_fraction, rng
-    )
-    attributes = None
-    if constrained_only:
-        dag = dataset.ground_truth_dag()
-        attributes = [n for n in dag.nodes if dag.parents(n)]
-    injection = inject_errors(
-        test_clean,
-        rate=context.error_rate,
-        rng=rng,
-        attributes=attributes,
-    )
-    train_injection = inject_errors(
-        train,
-        rate=context.error_rate,
-        rng=np.random.default_rng(context.seed + 500 + spec.id),
-    )
+    with obs.span("experiment.prepare", dataset=spec.name):
+        dataset = load(
+            spec.id, n_rows=context.rows_for(spec), seed=context.seed
+        )
+        train, test_clean = dataset.relation.split(
+            context.train_fraction, rng
+        )
+        attributes = None
+        if constrained_only:
+            dag = dataset.ground_truth_dag()
+            attributes = [n for n in dag.nodes if dag.parents(n)]
+        injection = inject_errors(
+            test_clean,
+            rate=context.error_rate,
+            rng=rng,
+            attributes=attributes,
+        )
+        train_injection = inject_errors(
+            train,
+            rate=context.error_rate,
+            rng=np.random.default_rng(context.seed + 500 + spec.id),
+        )
     return Prepared(
         dataset=dataset,
         train_clean=train,
@@ -144,7 +152,10 @@ def fit_guardrail(
 ) -> Guardrail:
     """Fit GUARDRAIL on the (noisy) discovery split."""
     config = context.guardrail_config(**overrides)
-    return Guardrail(config).fit(prepared.train)
+    with obs.span(
+        "experiment.fit_guardrail", dataset=prepared.spec.name
+    ):
+        return Guardrail(config).fit(prepared.train)
 
 
 def format_table(

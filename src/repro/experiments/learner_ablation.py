@@ -19,6 +19,7 @@ from .harness import ExperimentContext, Prepared, format_table, prepare
 
 @dataclass
 class LearnerRow:
+    """PC vs hill-climbing comparison on one dataset."""
     dataset_id: int
     dataset_name: str
     coverage_pc: float
@@ -54,6 +55,7 @@ def run_learner_ablation(
     context: ExperimentContext,
     prepared: Prepared | None = None,
 ) -> LearnerRow:
+    """Compare structure learners on one dataset."""
     prepared = prepared or prepare(dataset_key, context)
     dag = prepared.dataset.ground_truth_dag()
     n_attrs = len(prepared.train.schema)
@@ -81,6 +83,7 @@ def run_learner_ablation(
 def run_learner_table(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[LearnerRow]:
+    """Run the learner ablation across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -88,6 +91,7 @@ def run_learner_table(
 
 
 def format_learner_table(rows: list[LearnerRow]) -> str:
+    """Render the learner-ablation table as plain text."""
     headers = [
         "Dataset", "cov (PC)", "cov (HC)",
         "edge F1 (PC)", "edge F1 (HC)", "s (PC)", "s (HC)",

@@ -27,6 +27,7 @@ from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, p
 
 @dataclass
 class MispredRow:
+    """Tables 1/5 row: errors vs model mis-predictions on one dataset."""
     dataset_id: int
     dataset_name: str
     n_errors: int
@@ -57,6 +58,7 @@ def run_mispred(
     prepared: Prepared | None = None,
     constrained_only: bool = False,
 ) -> MispredRow:
+    """Run the mis-prediction protocol on one dataset."""
     prepared = prepared or prepare(
         dataset_key, context, constrained_only=constrained_only
     )
@@ -121,6 +123,7 @@ def run_table5(
 
 
 def error_mispred_correlation(rows: list[MispredRow]) -> SpearmanResult:
+    """Spearman correlation of error vs mis-prediction counts (S5)."""
     return spearman(
         [r.n_errors for r in rows],
         [r.n_mispredictions for r in rows],
@@ -128,6 +131,7 @@ def error_mispred_correlation(rows: list[MispredRow]) -> SpearmanResult:
 
 
 def format_table1(rows: list[MispredRow]) -> str:
+    """Render Table 1 as plain text."""
     headers = ["Dataset ID"] + [str(r.dataset_id) for r in rows]
     body = [
         ["# Errors"] + [r.n_errors for r in rows],
@@ -137,6 +141,7 @@ def format_table1(rows: list[MispredRow]) -> str:
 
 
 def format_table5(rows: list[MispredRow]) -> str:
+    """Render Table 5 as plain text."""
     headers = ["ID"] + [str(r.dataset_id) for r in rows]
     body = [
         ["#Mis-pred."] + [r.n_mispredictions for r in rows],

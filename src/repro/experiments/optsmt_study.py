@@ -21,6 +21,7 @@ from .harness import ExperimentContext, Prepared, format_table, prepare
 
 @dataclass
 class ClauseRow:
+    """Clause-count row of the OptSMT study (S8.3)."""
     dataset_id: int
     n_attributes: int
     n_clauses: int
@@ -28,6 +29,7 @@ class ClauseRow:
 
 @dataclass
 class SolveRow:
+    """Solve-time row of the OptSMT scaling study."""
     n_attributes: int
     optsmt_seconds: float
     optsmt_timed_out: bool
@@ -39,6 +41,7 @@ class SolveRow:
 def clause_counts(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[ClauseRow]:
+    """Count OptSMT clauses per dataset without solving."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -102,6 +105,7 @@ def scaling_study(
 
 
 def format_clauses(rows: list[ClauseRow]) -> str:
+    """Render the clause-count table as plain text."""
     headers = ["Dataset", "# Attr.", "# soft clauses (OptSMT encoding)"]
     body = [
         [r.dataset_id, r.n_attributes, f"{r.n_clauses:,}"] for r in rows
@@ -110,6 +114,7 @@ def format_clauses(rows: list[ClauseRow]) -> str:
 
 
 def format_scaling(rows: list[SolveRow]) -> str:
+    """Render the scaling study as plain text."""
     headers = [
         "# Attr.", "OptSMT s", "timeout", "OptSMT cov",
         "Guardrail s", "Guardrail cov",

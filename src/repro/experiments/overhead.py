@@ -19,6 +19,7 @@ from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, p
 
 @dataclass
 class OverheadRow:
+    """Table 6 row: guard time vs inference time on one dataset."""
     dataset_id: int
     dataset_name: str
     guardrail_seconds: float
@@ -32,6 +33,7 @@ def run_overhead(
     context: ExperimentContext,
     prepared: Prepared | None = None,
 ) -> OverheadRow:
+    """Measure guard vs inference time on one dataset."""
     prepared = prepared or prepare(dataset_key, context)
     target = prepared.dataset.target
     model = AutoModel(seed=context.seed).fit(prepared.train, target)
@@ -58,6 +60,7 @@ def run_overhead(
 def run_table6(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[OverheadRow]:
+    """Run the overhead measurement across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -65,6 +68,7 @@ def run_table6(
 
 
 def format_table6(rows: list[OverheadRow]) -> str:
+    """Render Table 6 as plain text."""
     headers = ["Dataset ID"] + [str(r.dataset_id) for r in rows]
     body = [
         ["Guardrail Time"]

@@ -28,6 +28,7 @@ from .harness import ExperimentContext, Prepared, fit_guardrail, format_table, p
 
 @dataclass
 class QueryErrorRow:
+    """Figure 6 row: query result error before/after rectification."""
     dataset_id: int
     query_index: int
     sql: str
@@ -36,6 +37,7 @@ class QueryErrorRow:
 
     @property
     def name(self) -> str:
+        """Short identifier of the benchmark query."""
         return f"D{self.dataset_id}-Q{self.query_index}"
 
     @property
@@ -105,6 +107,7 @@ def run_queries(
 ) -> list[QueryErrorRow]:
     # RQ2 protocol: inject only constraint-covered errors (§8.2), at a
     # rate that measurably perturbs the aggregates.
+    """Run the 48-query rectification protocol on one dataset."""
     if prepared is None:
         import dataclasses
 
@@ -147,6 +150,7 @@ def run_queries(
 def run_figure6(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[QueryErrorRow]:
+    """Run the query study across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -182,6 +186,7 @@ def average_reduction(rows: list[QueryErrorRow]) -> tuple[float, float]:
 
 
 def format_figure6(rows: list[QueryErrorRow]) -> str:
+    """Render the Figure 6 table as plain text."""
     headers = [
         "Query", "RelErr (dirty)", "RelErr (rectified)", "Reduction"
     ]

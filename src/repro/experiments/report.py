@@ -113,6 +113,7 @@ ARTIFACTS: tuple[Artifact, ...] = (
 
 
 def artifact_keys() -> list[str]:
+    """The runnable artifact keys, in report order."""
     return [a.key for a in ARTIFACTS]
 
 

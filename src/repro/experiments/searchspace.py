@@ -22,6 +22,7 @@ from .harness import ExperimentContext, Prepared, format_table, prepare
 
 @dataclass
 class SearchSpaceRow:
+    """Table 7 row: MEC size vs raw DAG space on one dataset."""
     dataset_id: int
     dataset_name: str
     n_attributes: int
@@ -35,6 +36,7 @@ def run_searchspace(
     context: ExperimentContext,
     prepared: Prepared | None = None,
 ) -> SearchSpaceRow:
+    """Measure the search-space reduction on one dataset."""
     prepared = prepared or prepare(dataset_key, context)
     rng = np.random.default_rng(context.seed)
     sampler = AuxiliarySampler()
@@ -66,6 +68,7 @@ def run_searchspace(
 def run_table7(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[SearchSpaceRow]:
+    """Run the search-space measurement across the datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -73,6 +76,7 @@ def run_table7(
 
 
 def format_table7(rows: list[SearchSpaceRow]) -> str:
+    """Render Table 7 as plain text."""
     headers = ["Dataset ID"] + [str(r.dataset_id) for r in rows]
     body = [
         ["# Attr."] + [r.n_attributes for r in rows],

@@ -17,6 +17,7 @@ from .harness import ExperimentContext, Prepared, format_table, prepare
 
 @dataclass
 class TimingRow:
+    """Table 4 row: offline synthesis time on one dataset."""
     dataset_id: int
     dataset_name: str
     n_attributes: int
@@ -34,6 +35,7 @@ def run_timing(
     context: ExperimentContext,
     prepared: Prepared | None = None,
 ) -> TimingRow:
+    """Time one dataset's synthesis (Table 4 protocol)."""
     prepared = prepared or prepare(dataset_key, context)
     result = synthesize(prepared.train, context.guardrail_config())
     return TimingRow(
@@ -53,6 +55,7 @@ def run_timing(
 def run_table4(
     context: ExperimentContext, dataset_ids: list[int] | None = None
 ) -> list[TimingRow]:
+    """Run synthesis timing across the evaluation datasets."""
     from ..datasets import DATASETS
 
     ids = dataset_ids or [s.id for s in DATASETS]
@@ -60,6 +63,7 @@ def run_table4(
 
 
 def format_table4(rows: list[TimingRow]) -> str:
+    """Render Table 4 as plain text."""
     headers = [
         "Dataset ID", "# Attr.", "Total Time (s)", "sampling",
         "structure", "enum+fill", "# DAGs", "cache hits",

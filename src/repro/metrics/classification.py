@@ -24,6 +24,7 @@ class ConfusionCounts:
 
     @property
     def total(self) -> int:
+        """Total number of scored items."""
         return self.tp + self.fp + self.fn + self.tn
 
 
@@ -41,11 +42,13 @@ def confusion(predicted: np.ndarray, actual: np.ndarray) -> ConfusionCounts:
 
 
 def precision(counts: ConfusionCounts) -> float:
+    """TP / (TP + FP); 0 when undefined."""
     denominator = counts.tp + counts.fp
     return counts.tp / denominator if denominator else float("nan")
 
 
 def recall(counts: ConfusionCounts) -> float:
+    """TP / (TP + FN); 0 when undefined."""
     denominator = counts.tp + counts.fn
     return counts.tp / denominator if denominator else float("nan")
 
@@ -70,8 +73,10 @@ def mcc_score(counts: ConfusionCounts) -> float:
 
 
 def f1_from_masks(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """F1 of a predicted boolean mask against ground truth."""
     return f1_score(confusion(predicted, actual))
 
 
 def mcc_from_masks(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Matthews correlation of a predicted mask vs ground truth."""
     return mcc_score(confusion(predicted, actual))

@@ -18,6 +18,7 @@ from scipy import stats
 
 @dataclass(frozen=True)
 class SpearmanResult:
+    """Spearman rank-correlation coefficient with its p-value."""
     coefficient: float
     p_value: float
 

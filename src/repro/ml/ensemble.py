@@ -51,6 +51,7 @@ class AutoModel(Classifier):
         target: str,
         features: list[str] | None = None,
     ) -> "AutoModel":
+        """Fit every member and weight it by validation accuracy."""
         rng = np.random.default_rng(self.seed)
         if relation.n_rows < 10:
             raise ModelError("need at least 10 rows to train AutoModel")
@@ -79,6 +80,7 @@ class AutoModel(Classifier):
         return self
 
     def predict(self, relation: Relation) -> np.ndarray:
+        """Weighted-vote predictions over the relation's rows."""
         if not self.members:
             raise ModelError("AutoModel is not fitted")
         votes = np.zeros((relation.n_rows, self.n_classes))

@@ -107,10 +107,12 @@ class Classifier(ABC):
 
     @property
     def n_classes(self) -> int:
+        """Number of target classes."""
         assert self._target_codec is not None
         return self._target_codec.cardinality
 
     def decode_label(self, code: int) -> object:
+        """Map a class code back to the original label value."""
         assert self._target_codec is not None
         return self._target_codec.decode_one(int(code))
 

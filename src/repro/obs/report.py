@@ -1,0 +1,198 @@
+"""Render a trace (JSONL file or event list) into an operator report.
+
+``repro obs report trace.jsonl`` prints three sections:
+
+* **Phase timings** — the span tree, aggregated by path: call count,
+  total/mean wall time, and a share-of-root bar, so "where did the
+  synthesis time go" is one glance (MEC enumeration vs. CI tests vs.
+  sketch filling);
+* **Counters / histograms** — cache hit rates, DAGs enumerated,
+  per-row guard latency percentiles;
+* **Guard dashboard** — the runtime-guard story of Fig. 1: rows
+  checked/flagged/rectified, violation rate, and the violations-by-
+  attribute breakdown reconstructed from the per-row verdict records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .sinks import iter_events
+
+
+@dataclass
+class SpanNode:
+    """One aggregated node of the phase-timing tree."""
+
+    name: str
+    path: str
+    count: int = 0
+    total_s: float = 0.0
+    errors: int = 0
+    children: "dict[str, SpanNode]" = field(default_factory=dict)
+
+    @property
+    def mean_s(self) -> float:
+        """Average duration per call (0 for an unvisited placeholder)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+def build_span_tree(events: Iterable[dict]) -> SpanNode:
+    """Aggregate ``span`` events into a tree keyed by slash-path.
+
+    Spans sharing a path are merged (count/total accumulate); a parent
+    observed only through its children gets a placeholder node with
+    ``count == 0`` so the hierarchy still renders.
+    """
+    root = SpanNode(name="<root>", path="")
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        parts = [p for p in str(event.get("path", "")).split("/") if p]
+        node = root
+        prefix = ""
+        for part in parts:
+            prefix = f"{prefix}/{part}" if prefix else part
+            node = node.children.setdefault(
+                part, SpanNode(name=part, path=prefix)
+            )
+        node.count += 1
+        node.total_s += float(event.get("dur_s", 0.0))
+        if "error" in event:
+            node.errors += 1
+    return root
+
+
+def _walk(node: SpanNode, depth: int, lines: list[str], scale: float):
+    for child in sorted(
+        node.children.values(), key=lambda n: -n.total_s
+    ):
+        share = child.total_s / scale if scale > 0 else 0.0
+        bar = "#" * max(1, round(share * 24)) if child.count else ""
+        mean_ms = child.mean_s * 1e3
+        lines.append(
+            f"  {'  ' * depth}{child.name:<{max(4, 34 - 2 * depth)}}"
+            f"{child.count:>6}x {child.total_s:>9.3f}s "
+            f"{mean_ms:>9.2f}ms/call  {bar}"
+        )
+        if child.errors:
+            lines.append(
+                f"  {'  ' * depth}  !! {child.errors} call(s) raised"
+            )
+        _walk(child, depth + 1, lines, scale)
+
+
+def render_span_tree(events: Iterable[dict]) -> str:
+    """The phase-timing section: an indented, share-annotated tree."""
+    root = build_span_tree(events)
+    if not root.children:
+        return "  (no spans recorded)"
+    scale = sum(c.total_s for c in root.children.values())
+    header = (
+        f"  {'phase':<34}{'calls':>7} {'total':>10} {'per call':>14}"
+    )
+    lines = [header]
+    _walk(root, 0, lines, scale)
+    return "\n".join(lines)
+
+
+def aggregate_counters(events: Iterable[dict]) -> dict[str, int]:
+    """Sum every ``counter`` event by name."""
+    totals: dict[str, int] = {}
+    for event in events:
+        if event.get("type") == "counter":
+            name = str(event["name"])
+            totals[name] = totals.get(name, 0) + int(event.get("value", 1))
+    return totals
+
+
+def aggregate_histograms(events: Iterable[dict]) -> dict[str, list[float]]:
+    """Collect every ``observe`` sample by histogram name."""
+    samples: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("type") == "observe":
+            samples.setdefault(str(event["name"]), []).append(
+                float(event["value"])
+            )
+    return samples
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+def render_metrics(events: Iterable[dict]) -> str:
+    """The counters + histograms section."""
+    events = list(events)
+    counters = aggregate_counters(events)
+    histograms = aggregate_histograms(events)
+    lines: list[str] = []
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<40} {counters[name]:>10}")
+    if histograms:
+        lines.append("  histograms:")
+        for name in sorted(histograms):
+            values = sorted(histograms[name])
+            n = len(values)
+            mean = sum(values) / n
+            lines.append(
+                f"    {name:<40} n={n:<7} mean={mean:.6f} "
+                f"p50={_percentile(values, 0.50):.6f} "
+                f"p95={_percentile(values, 0.95):.6f} "
+                f"max={values[-1]:.6f}"
+            )
+    return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+
+def render_guard_dashboard(events: Iterable[dict]) -> str:
+    """The runtime-guard section, built from per-row verdict records."""
+    checked = flagged = rectified = 0
+    by_attribute: dict[str, int] = {}
+    for event in events:
+        kind = event.get("type")
+        if kind == "guard.verdict":
+            checked += 1
+            if not event.get("ok", True):
+                flagged += 1
+                for attribute in event.get("attributes", []):
+                    by_attribute[attribute] = (
+                        by_attribute.get(attribute, 0) + 1
+                    )
+        elif kind == "guard.rectify":
+            rectified += 1
+    if checked == 0 and rectified == 0:
+        return "  (no guard activity recorded)"
+    rate = flagged / checked if checked else 0.0
+    lines = [
+        f"  rows checked    {checked}",
+        f"  rows flagged    {flagged}  ({rate:.2%})",
+        f"  rows rectified  {rectified}",
+    ]
+    if by_attribute:
+        lines.append("  violations by attribute:")
+        for name, n in sorted(by_attribute.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {name:<30} {n}")
+    return "\n".join(lines)
+
+
+def render_report(source: "Iterable[dict] | str | Path") -> str:
+    """Full three-section report from a trace file, sink, or event list."""
+    events = iter_events(source)
+    sections = [
+        ("Phase timings", render_span_tree(events)),
+        ("Metrics", render_metrics(events)),
+        ("Guard dashboard", render_guard_dashboard(events)),
+    ]
+    parts = [f"trace: {len(events)} events"]
+    for title, body in sections:
+        parts.append(f"\n{title}\n{'-' * len(title)}\n{body}")
+    return "\n".join(parts)

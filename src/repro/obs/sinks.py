@@ -1,0 +1,129 @@
+"""Trace sinks: where observability events go (paper Fig. 1 deployment).
+
+A sink is anything with an ``emit(event)`` method taking one JSON-able
+dict.  Three implementations cover the deployment spectrum:
+
+* :class:`NullSink` — swallows everything; the default, so tracing is
+  zero-cost when nobody asked for it (Table 6's overhead numbers must
+  not move when observability is merely *available*);
+* :class:`MemorySink` — a bounded in-process ring buffer, for tests,
+  notebooks, and live dashboards;
+* :class:`JsonlSink` — newline-delimited JSON on disk, the interchange
+  format ``repro obs report`` consumes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can receive observability events."""
+
+    def emit(self, event: dict) -> None:
+        """Record one event (a flat, JSON-serializable dict)."""
+        ...
+
+
+class NullSink:
+    """Discards every event; the zero-cost default."""
+
+    __slots__ = ()
+
+    def emit(self, event: dict) -> None:
+        """Drop the event."""
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class MemorySink:
+    """Bounded in-memory ring buffer of events (oldest evicted first)."""
+
+    def __init__(self, maxlen: int = 100_000):
+        self._events: deque[dict] = deque(maxlen=maxlen)
+
+    def emit(self, event: dict) -> None:
+        """Append the event, evicting the oldest past ``maxlen``."""
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all retained events."""
+        self._events.clear()
+
+    def close(self) -> None:
+        """No resources to release (events stay readable)."""
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._events)
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a file (the trace format).
+
+    The file handle is opened eagerly and line-buffered so a crashed
+    process still leaves a readable prefix; use as a context manager or
+    call :meth:`close` to flush deterministically.
+    """
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self._handle: io.TextIOBase | None = self.path.open(
+            "w", encoding="utf-8"
+        )
+
+    def emit(self, event: dict) -> None:
+        """Serialize the event as one JSON line."""
+        if self._handle is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        json.dump(event, self._handle, default=str, separators=(",", ":"))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: "str | Path") -> list[dict]:
+    """Load a JSONL trace file back into a list of event dicts.
+
+    Blank lines are skipped; a trailing partial line (crashed writer)
+    raises ``json.JSONDecodeError`` so corruption is loud, not silent.
+    """
+    events: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def iter_events(source: "Sink | Iterable[dict] | str | Path") -> list[dict]:
+    """Normalize a sink, path, or iterable of dicts into an event list."""
+    if isinstance(source, MemorySink):
+        return source.events
+    if isinstance(source, (str, Path)):
+        return read_jsonl(source)
+    return list(source)  # type: ignore[arg-type]

@@ -70,13 +70,16 @@ class DAG:
 
     @property
     def nodes(self) -> tuple[str, ...]:
+        """The nodes, in insertion order."""
         return self._nodes
 
     @property
     def n_nodes(self) -> int:
+        """Number of nodes."""
         return len(self._nodes)
 
     def edges(self) -> list[Edge]:
+        """All directed edges as (parent, child) pairs."""
         return [
             (parent, child)
             for child in self._nodes
@@ -85,30 +88,37 @@ class DAG:
 
     @property
     def n_edges(self) -> int:
+        """Number of edges."""
         return sum(len(self._parents[n]) for n in self._nodes)
 
     def parents(self, node: str) -> frozenset[str]:
+        """The parents of ``node``."""
         try:
             return self._parents[node]
         except KeyError:
             raise GraphError(f"unknown node: {node!r}") from None
 
     def children(self, node: str) -> frozenset[str]:
+        """The children of ``node``."""
         try:
             return self._children[node]
         except KeyError:
             raise GraphError(f"unknown node: {node!r}") from None
 
     def has_edge(self, parent: str, child: str) -> bool:
+        """Is there an edge ``parent -> child``?"""
         return parent in self._parents.get(child, frozenset())
 
     def adjacent(self, u: str, v: str) -> bool:
+        """Are ``u`` and ``v`` joined by an edge in either direction?"""
         return self.has_edge(u, v) or self.has_edge(v, u)
 
     def neighbors(self, node: str) -> frozenset[str]:
+        """Parents and children of ``node``."""
         return self.parents(node) | self.children(node)
 
     def topological_order(self) -> tuple[str, ...]:
+        """The nodes in a deterministic topological order."""
         return self._order
 
     def ancestors(self, node: str) -> frozenset[str]:
@@ -219,6 +229,7 @@ class DAG:
         )
 
     def parent_map(self) -> dict[str, frozenset[str]]:
+        """Node -> parent-set mapping for the whole DAG."""
         return dict(self._parents)
 
     @classmethod

@@ -133,11 +133,13 @@ class CITester:
     def from_relation(
         cls, relation: Relation, alpha: float = 0.05, method: str = "g2"
     ) -> "CITester":
+        """Build a tester from a relation's encoded categorical columns."""
         names = relation.schema.categorical_names()
         return cls(relation.codes_matrix(names), names, alpha=alpha, method=method)
 
     @property
     def names(self) -> list[str]:
+        """The variable names, in column order."""
         return list(self._names)
 
     def _column(self, name: str) -> np.ndarray:

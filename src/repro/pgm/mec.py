@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from .. import obs
 from .dag import DAG, GraphError
 from .pdag import PDAG, OrientationConflict, cpdag_from_dag
 
@@ -71,7 +72,15 @@ def enumerate_mec(
                 continue
             yield from recurse(candidate)
 
-    yield from recurse(cpdag.copy())
+    if not obs.enabled():
+        yield from recurse(cpdag.copy())
+        return
+    # Traced path: report how many class members the search produced
+    # (and count them even when the consumer stops early).
+    try:
+        yield from recurse(cpdag.copy())
+    finally:
+        obs.count("pgm.mec.dags_enumerated", produced)
 
 
 def mec_size(cpdag: PDAG, max_dags: int | None = None) -> int:

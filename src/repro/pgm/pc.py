@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Sequence
 
+from .. import obs
 from .independence import CITester
 from .pdag import PDAG
 
@@ -58,38 +59,61 @@ def learn_cpdag(
     separating: dict[frozenset[str], frozenset[str]] = {}
     queries_before = tester.n_queries
 
-    level = 0
-    while True:
-        if max_condition_size is not None and level > max_condition_size:
-            break
-        # PC-stable: freeze adjacency for this level.
-        frozen = {n: frozenset(neigh) for n, neigh in adjacency.items()}
-        any_candidate = False
-        for x in nodes:
-            for y in sorted(frozen[x]):
-                if y not in adjacency[x]:
-                    continue  # already removed at this level
-                candidates = frozen[x] - {y}
-                if max_degree is not None and len(candidates) > max_degree:
-                    candidates = frozenset(sorted(candidates)[:max_degree])
-                if len(candidates) < level:
-                    continue
-                any_candidate = True
-                if _find_separator(
-                    tester, x, y, candidates, level, adjacency, separating
-                ):
-                    continue
-        if not any_candidate:
-            break
-        level += 1
+    with obs.span("pgm.learn_cpdag", n_nodes=len(nodes)) as pc_span:
+        level = 0
+        while True:
+            if (
+                max_condition_size is not None
+                and level > max_condition_size
+            ):
+                break
+            # PC-stable: freeze adjacency for this level.
+            frozen = {
+                n: frozenset(neigh) for n, neigh in adjacency.items()
+            }
+            any_candidate = False
+            with obs.span("pgm.pc_level", level=level):
+                for x in nodes:
+                    for y in sorted(frozen[x]):
+                        if y not in adjacency[x]:
+                            continue  # already removed at this level
+                        candidates = frozen[x] - {y}
+                        if (
+                            max_degree is not None
+                            and len(candidates) > max_degree
+                        ):
+                            candidates = frozenset(
+                                sorted(candidates)[:max_degree]
+                            )
+                        if len(candidates) < level:
+                            continue
+                        any_candidate = True
+                        if _find_separator(
+                            tester,
+                            x,
+                            y,
+                            candidates,
+                            level,
+                            adjacency,
+                            separating,
+                        ):
+                            continue
+            if not any_candidate:
+                break
+            level += 1
 
-    directed, undirected = _orient_v_structures(nodes, adjacency, separating)
-    cpdag = PDAG(nodes, directed, undirected)
-    cpdag.apply_meek_rules()
+        with obs.span("pgm.orientation"):
+            directed, undirected = _orient_v_structures(
+                nodes, adjacency, separating
+            )
+            cpdag = PDAG(nodes, directed, undirected)
+            cpdag.apply_meek_rules()
+        n_ci_tests = tester.n_queries - queries_before
+        pc_span.set(n_ci_tests=n_ci_tests, levels_run=level)
     return PCResult(
         cpdag=cpdag,
         separating_sets=dict(separating),
-        n_ci_tests=tester.n_queries - queries_before,
+        n_ci_tests=n_ci_tests,
         levels_run=level,
     )
 

@@ -57,25 +57,32 @@ class PDAG:
 
     @property
     def nodes(self) -> tuple[str, ...]:
+        """The nodes, in insertion order."""
         return self._nodes
 
     def directed_edges(self) -> set[Edge]:
+        """The directed edges as a set of (parent, child) pairs."""
         return set(self._directed)
 
     def undirected_edges(self) -> list[tuple[str, str]]:
+        """The undirected edges as sorted pairs."""
         return sorted(tuple(sorted(e)) for e in self._undirected)
 
     @property
     def n_undirected(self) -> int:
+        """Number of undirected edges."""
         return len(self._undirected)
 
     def has_directed(self, u: str, v: str) -> bool:
+        """Is there a directed edge ``u -> v``?"""
         return (u, v) in self._directed
 
     def has_undirected(self, u: str, v: str) -> bool:
+        """Is there an undirected edge ``u - v``?"""
         return frozenset((u, v)) in self._undirected
 
     def adjacent(self, u: str, v: str) -> bool:
+        """Are ``u`` and ``v`` joined by any edge?"""
         return (
             (u, v) in self._directed
             or (v, u) in self._directed
@@ -83,12 +90,15 @@ class PDAG:
         )
 
     def parents(self, node: str) -> set[str]:
+        """Nodes with a directed edge into ``node``."""
         return {u for u, v in self._directed if v == node}
 
     def children(self, node: str) -> set[str]:
+        """Nodes ``node`` has a directed edge to."""
         return {v for u, v in self._directed if u == node}
 
     def undirected_neighbors(self, node: str) -> set[str]:
+        """Nodes joined to ``node`` by an undirected edge."""
         return {
             next(iter(e - {node}))
             for e in self._undirected
@@ -96,9 +106,11 @@ class PDAG:
         }
 
     def neighbors(self, node: str) -> set[str]:
+        """All adjacent nodes, directed or not."""
         return self.parents(node) | self.children(node) | self.undirected_neighbors(node)
 
     def copy(self) -> "PDAG":
+        """A deep, independent copy of the pattern."""
         clone = PDAG(self._nodes)
         clone._directed = set(self._directed)
         clone._undirected = set(self._undirected)
@@ -202,6 +214,7 @@ class PDAG:
         return DAG(self._nodes, self._directed)
 
     def skeleton(self) -> set[frozenset[str]]:
+        """The undirected skeleton as a set of node pairs."""
         return {frozenset(e) for e in self._directed} | set(self._undirected)
 
     def __eq__(self, other: object) -> bool:

@@ -60,9 +60,11 @@ class BicScorer:
 
     @property
     def names(self) -> list[str]:
+        """The variable names, in column order."""
         return list(self._names)
 
     def score(self, child: str, parents: frozenset[str]) -> float:
+        """BIC score of ``child`` given ``parents`` (memoized)."""
         key = (child, parents)
         cached = self._memo.get(key)
         if cached is not None:
@@ -73,6 +75,7 @@ class BicScorer:
         return value
 
     def total(self, dag: DAG) -> float:
+        """Total BIC score of a DAG (sum over families)."""
         return sum(
             self.score(node, frozenset(dag.parents(node)))
             for node in dag.nodes

@@ -39,6 +39,7 @@ class NodeModel:
     table: Mapping[tuple[int, ...], np.ndarray]
 
     def distribution(self, parent_codes: tuple[int, ...]) -> np.ndarray:
+        """Distribution over outcomes given the parents' codes."""
         try:
             return np.asarray(self.table[parent_codes], dtype=np.float64)
         except KeyError:
@@ -51,6 +52,7 @@ class NodeModel:
         return int(np.argmax(self.distribution(parent_codes)))
 
     def is_deterministic(self, tolerance: float = 1e-9) -> bool:
+        """Is every conditional distribution a point mass (within tol)?"""
         return all(
             np.max(dist) >= 1.0 - tolerance for dist in self.table.values()
         )
@@ -73,12 +75,15 @@ class DiscreteSEM:
 
     @property
     def dag(self) -> DAG:
+        """The SEM's structure as a DAG."""
         return self._dag
 
     def model(self, node: str) -> NodeModel:
+        """The conditional-distribution model of ``node``."""
         return self._models[node]
 
     def cardinality(self, node: str) -> int:
+        """Outcome cardinality of ``node``."""
         return self._models[node].cardinality
 
     # ------------------------------------------------------------------

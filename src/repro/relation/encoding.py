@@ -50,10 +50,12 @@ class Codec:
 
     @property
     def cardinality(self) -> int:
+        """Number of distinct encoded values."""
         return len(self._values)
 
     @property
     def values(self) -> tuple[Hashable, ...]:
+        """The decoded values, in code order."""
         return self._values
 
     def encode_one(self, value: Hashable) -> int:

@@ -158,14 +158,17 @@ class Relation:
 
     @property
     def schema(self) -> Schema:
+        """The relation's schema."""
         return self._schema
 
     @property
     def n_rows(self) -> int:
+        """Number of rows."""
         return self._n_rows
 
     @property
     def names(self) -> tuple[str, ...]:
+        """Attribute names, in schema order."""
         return self._schema.names
 
     def __len__(self) -> int:
@@ -251,6 +254,7 @@ class Relation:
             yield self.row(i)
 
     def to_rows(self) -> list[Row]:
+        """The relation as a list of decoded row dicts."""
         return list(self.iter_rows())
 
     def codes_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
@@ -288,6 +292,7 @@ class Relation:
         return Relation(self._schema, columns, self._codecs)
 
     def head(self, n: int) -> "Relation":
+        """The first ``n`` rows as a new relation."""
         return self.take(np.arange(min(n, self._n_rows)))
 
     def with_column(

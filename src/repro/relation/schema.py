@@ -31,9 +31,11 @@ class Attribute:
     type: AttributeType = AttributeType.CATEGORICAL
 
     def is_categorical(self) -> bool:
+        """Is this a categorical attribute?"""
         return self.type is AttributeType.CATEGORICAL
 
     def is_numeric(self) -> bool:
+        """Is this a numeric attribute?"""
         return self.type is AttributeType.NUMERIC
 
 
@@ -72,10 +74,12 @@ class Schema:
 
     @property
     def names(self) -> tuple[str, ...]:
+        """Attribute names, in declaration order."""
         return tuple(attr.name for attr in self._attributes)
 
     @property
     def attributes(self) -> tuple[Attribute, ...]:
+        """The attribute objects, in declaration order."""
         return self._attributes
 
     def __len__(self) -> int:
@@ -107,9 +111,11 @@ class Schema:
         return Schema(self[name] for name in names)
 
     def categorical_names(self) -> tuple[str, ...]:
+        """Names of the categorical attributes."""
         return tuple(a.name for a in self._attributes if a.is_categorical())
 
     def numeric_names(self) -> tuple[str, ...]:
+        """Names of the numeric attributes."""
         return tuple(a.name for a in self._attributes if a.is_numeric())
 
     def __eq__(self, other: object) -> bool:

@@ -44,6 +44,7 @@ class IdentitySampler:
     def transform(
         self, relation: Relation, rng: np.random.Generator
     ) -> tuple[np.ndarray, list[str]]:
+        """Return the raw categorical codes (the ablation baseline)."""
         names = list(relation.schema.categorical_names())
         return relation.codes_matrix(names), names
 
@@ -117,6 +118,7 @@ class AuxiliarySampler:
     def transform(
         self, relation: Relation, rng: np.random.Generator
     ) -> tuple[np.ndarray, list[str]]:
+        """Encode the relation as auxiliary indicator samples (Def. 4.5)."""
         names = list(relation.schema.categorical_names())
         codes = relation.codes_matrix(names)
         n_rows = codes.shape[0]

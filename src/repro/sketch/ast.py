@@ -52,6 +52,7 @@ class ProgramSketch:
 
     @classmethod
     def of(cls, statements: Iterable[StatementSketch]) -> "ProgramSketch":
+        """Build a program sketch from statement sketches."""
         return cls(tuple(statements))
 
     @classmethod
@@ -80,6 +81,7 @@ class ProgramSketch:
         return bool(self.statements)
 
     def attributes(self) -> set[str]:
+        """Every attribute mentioned by the sketch."""
         out: set[str] = set()
         for sketch in self.statements:
             out.update(sketch.determinants)

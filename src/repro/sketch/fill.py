@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..dsl.ast import Branch, Condition, Program, Statement
 from ..relation import MISSING, Relation
 from .ast import ProgramSketch, StatementSketch
@@ -47,9 +48,11 @@ class FillCache:
     )
 
     def get(self, sketch: StatementSketch):
+        """The cached fill for ``sketch`` (miss sentinel when absent)."""
         return self.entries.get(sketch, _MISS)
 
     def put(self, sketch: StatementSketch, statement: Statement | None) -> None:
+        """Memoize the fill result for ``sketch``."""
         self.entries[sketch] = statement
 
     def __len__(self) -> int:
@@ -131,25 +134,31 @@ def fill_program_sketch(
     Statement sketches that concretize to ⊥ are dropped; the rest keep
     the sketch's order.
     """
+    traced = obs.enabled()
     statements: list[Statement] = []
-    for statement_sketch in sketch:
-        if cache is not None:
-            hit = cache.get(statement_sketch)
-            if hit is not _MISS:
-                if stats is not None:
-                    stats.cache_hits += 1
-                if hit is not None:
-                    statements.append(hit)
-                continue
-        filled = fill_statement_sketch(
-            statement_sketch,
-            relation,
-            epsilon,
-            min_support=min_support,
-            stats=stats,
-        )
-        if cache is not None:
-            cache.put(statement_sketch, filled)
-        if filled is not None:
-            statements.append(filled)
+    with obs.span("sketch.fill_program", sketch_size=len(sketch)):
+        for statement_sketch in sketch:
+            if cache is not None:
+                hit = cache.get(statement_sketch)
+                if hit is not _MISS:
+                    if stats is not None:
+                        stats.cache_hits += 1
+                    if traced:
+                        obs.count("sketch.fill.cache_hit")
+                    if hit is not None:
+                        statements.append(hit)
+                    continue
+            if traced:
+                obs.count("sketch.fill.cache_miss")
+            filled = fill_statement_sketch(
+                statement_sketch,
+                relation,
+                epsilon,
+                min_support=min_support,
+                stats=stats,
+            )
+            if cache is not None:
+                cache.put(statement_sketch, filled)
+            if filled is not None:
+                statements.append(filled)
     return Program(tuple(statements))

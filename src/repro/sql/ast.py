@@ -31,9 +31,11 @@ class Expr:
     """Base expression node."""
 
     def children(self) -> Iterator["Expr"]:
+        """Direct child expressions (empty for leaves)."""
         return iter(())
 
     def walk(self) -> Iterator["Expr"]:
+        """Yield this expression and every descendant."""
         yield self
         for child in self.children():
             yield from child.walk()
@@ -73,6 +75,7 @@ class BinaryOp(Expr):
     right: Expr
 
     def children(self) -> Iterator[Expr]:
+        """Direct child expressions."""
         yield self.left
         yield self.right
 
@@ -88,6 +91,7 @@ class UnaryOp(Expr):
     operand: Expr
 
     def children(self) -> Iterator[Expr]:
+        """Direct child expressions."""
         yield self.operand
 
     def __str__(self) -> str:
@@ -103,6 +107,7 @@ class InList(Expr):
     negated: bool = False
 
     def children(self) -> Iterator[Expr]:
+        """Direct child expressions."""
         yield self.operand
         yield from self.options
 
@@ -120,6 +125,7 @@ class IsNull(Expr):
     negated: bool = False
 
     def children(self) -> Iterator[Expr]:
+        """Direct child expressions."""
         yield self.operand
 
     def __str__(self) -> str:
@@ -136,6 +142,7 @@ class FunctionCall(Expr):
     star: bool = False  # COUNT(*)
 
     def children(self) -> Iterator[Expr]:
+        """Direct child expressions."""
         yield from self.args
 
     def __str__(self) -> str:
@@ -151,6 +158,7 @@ class CaseWhen(Expr):
     default: Expr | None = None
 
     def children(self) -> Iterator[Expr]:
+        """Direct child expressions."""
         for condition, value in self.branches:
             yield condition
             yield value
@@ -184,6 +192,7 @@ AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
 
 
 def contains_aggregate(expr: Expr) -> bool:
+    """Does the expression contain an aggregate call?"""
     return any(
         isinstance(node, FunctionCall)
         and node.name.lower() in AGGREGATE_FUNCTIONS
@@ -192,10 +201,12 @@ def contains_aggregate(expr: Expr) -> bool:
 
 
 def contains_predict(expr: Expr) -> bool:
+    """Does the expression contain a PREDICT call?"""
     return any(isinstance(node, Predict) for node in expr.walk())
 
 
 def referenced_columns(expr: Expr) -> set[str]:
+    """Column names referenced anywhere in the expression."""
     return {
         node.name for node in expr.walk() if isinstance(node, ColumnRef)
     }
@@ -208,10 +219,12 @@ def referenced_columns(expr: Expr) -> set[str]:
 
 @dataclass(frozen=True)
 class SelectItem:
+    """One SELECT-list entry: an expression plus optional alias."""
     expr: Expr
     alias: str | None = None
 
     def output_name(self, position: int) -> str:
+        """The column name this item produces in the result."""
         if self.alias:
             return self.alias
         if isinstance(self.expr, ColumnRef):
@@ -223,6 +236,7 @@ class SelectItem:
 
 @dataclass(frozen=True)
 class OrderItem:
+    """One ORDER BY key: expression plus direction."""
     expr: Expr
     descending: bool = False
 
@@ -240,6 +254,7 @@ class SelectQuery:
     limit: int | None = None
 
     def uses_predict(self) -> bool:
+        """Does any part of the query invoke PREDICT?"""
         expressions: list[Expr] = [item.expr for item in self.items]
         if self.where is not None:
             expressions.append(self.where)
@@ -250,6 +265,7 @@ class SelectQuery:
         return any(contains_predict(e) for e in expressions)
 
     def is_aggregate(self) -> bool:
+        """Does the query aggregate (GROUP BY or aggregate calls)?"""
         return bool(self.group_by) or any(
             contains_aggregate(item.expr) for item in self.items
         )

@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..relation import Relation
 from .ast import (
     AGGREGATE_FUNCTIONS,
@@ -74,6 +75,7 @@ class Frame:
         self.n_rows = relation.n_rows
 
     def column(self, name: str) -> np.ndarray:
+        """The named column (relation or materialized prediction)."""
         if name in self._extras:
             return self._extras[name]
         if name in self._cache:
@@ -87,6 +89,7 @@ class Frame:
         return values
 
     def has(self, name: str) -> bool:
+        """Is the name resolvable in this frame?"""
         return name in self._extras or name in self._relation.schema
 
 
@@ -101,6 +104,7 @@ class Evaluator:
         self._resolving: set[str] = set()
 
     def eval(self, expr: Expr) -> np.ndarray:
+        """Evaluate an expression to a column over the frame."""
         if isinstance(expr, LiteralExpr):
             return np.full(self._frame.n_rows, expr.value, dtype=object)
         if isinstance(expr, ColumnRef):
@@ -210,6 +214,7 @@ class Evaluator:
 
 
 def as_bool(values: np.ndarray) -> np.ndarray:
+    """Coerce an evaluated column to a boolean mask."""
     if values.dtype == bool:
         return values
     return np.array(
@@ -218,6 +223,7 @@ def as_bool(values: np.ndarray) -> np.ndarray:
 
 
 def as_float(values: np.ndarray) -> np.ndarray:
+    """Coerce an evaluated column to floats."""
     if values.dtype.kind == "f":
         return values
     if values.dtype == bool:
@@ -270,9 +276,11 @@ class QueryResult:
 
     @property
     def n_rows(self) -> int:
+        """Number of result rows."""
         return len(self.rows)
 
     def column(self, name: str) -> list:
+        """The values of the named result column."""
         try:
             index = self.names.index(name)
         except ValueError:
@@ -280,11 +288,13 @@ class QueryResult:
         return [row[index] for row in self.rows]
 
     def scalar(self) -> object:
+        """The single value of a 1x1 result."""
         if len(self.rows) != 1 or len(self.names) != 1:
             raise SqlRuntimeError("result is not a single scalar")
         return self.rows[0][0]
 
     def to_dicts(self) -> list[dict]:
+        """The result as a list of row dicts."""
         return [dict(zip(self.names, row)) for row in self.rows]
 
     def numeric_vector(self) -> list[float]:
@@ -301,6 +311,7 @@ class QueryResult:
         return out
 
     def to_text(self) -> str:
+        """Plain-text table rendering of the result."""
         cells = [[_render(v) for v in row] for row in self.rows]
         widths = [
             max(len(n), *(len(c[i]) for c in cells)) if cells else len(n)
@@ -373,6 +384,12 @@ class QueryExecutor:
         self.last_plan: Plan | None = None
 
     def execute(self, query: "str | SelectQuery") -> QueryResult:
+        """Parse (if needed), plan, and run one query.
+
+        The last run's timing breakdown is kept on ``last_metrics``;
+        with tracing enabled, a ``sql.execute`` span plus per-stage
+        guard/inference samples are emitted as well.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         guard_strategy = (
@@ -407,17 +424,26 @@ class QueryExecutor:
             elif isinstance(stage, Guard):
                 assert relation is not None
                 tick = time.perf_counter()
-                outcome = self.guardrail.handle(relation, stage.strategy)
+                with obs.span(
+                    "sql.guard", strategy=str(stage.strategy)
+                ) as guard_span:
+                    outcome = self.guardrail.handle(
+                        relation, stage.strategy
+                    )
+                    guard_span.set(rows_rectified=outcome.n_changed)
                 relation = outcome.relation
                 metrics.rows_rectified = outcome.n_changed
                 metrics.guard_seconds += time.perf_counter() - tick
             elif isinstance(stage, PredictStage):
                 assert relation is not None
                 tick = time.perf_counter()
-                for node in stage.predicts:
-                    extras[_predict_key(node)] = self._predict(
-                        node, relation
-                    )
+                with obs.span(
+                    "sql.predict", n_rows=relation.n_rows
+                ):
+                    for node in stage.predicts:
+                        extras[_predict_key(node)] = self._predict(
+                            node, relation
+                        )
                 metrics.rows_predicted = relation.n_rows * len(
                     stage.predicts
                 )
@@ -436,6 +462,18 @@ class QueryExecutor:
                 result.rows = result.rows[: stage.count]
         metrics.total_seconds = time.perf_counter() - started
         self.last_metrics = metrics
+        if obs.enabled():
+            obs.observe("sql.guard_seconds", metrics.guard_seconds)
+            obs.observe(
+                "sql.inference_seconds", metrics.inference_seconds
+            )
+            obs.record(
+                "sql.query",
+                total_s=metrics.total_seconds,
+                rows_scanned=metrics.rows_scanned,
+                rows_predicted=metrics.rows_predicted,
+                rows_rectified=metrics.rows_rectified,
+            )
         if result is None:
             raise SqlRuntimeError("plan produced no output stage")
         return result

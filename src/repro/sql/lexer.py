@@ -13,12 +13,14 @@ class SqlSyntaxError(SqlError):
 
 
 class Token(NamedTuple):
+    """One lexed token: kind, text, and source position."""
     kind: str
     text: str
     position: int
 
     @property
     def upper(self) -> str:
+        """The token text uppercased (for keyword comparison)."""
         return self.text.upper()
 
 

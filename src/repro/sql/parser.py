@@ -80,6 +80,7 @@ class Parser:
     # Query --------------------------------------------------------------
 
     def parse_query(self) -> SelectQuery:
+        """Parse a full SELECT query."""
         self._expect("SELECT")
         self._accept("DISTINCT")  # tolerated, results are not deduplicated
         items = [self._select_item()]
@@ -148,6 +149,7 @@ class Parser:
     # Expressions ----------------------------------------------------------
 
     def parse_expression(self) -> Expr:
+        """Parse one expression (precedence-climbing entry point)."""
         return self._or_expr()
 
     def _or_expr(self) -> Expr:

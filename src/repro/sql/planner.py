@@ -33,11 +33,13 @@ class Stage:
 
 @dataclass(frozen=True)
 class Scan(Stage):
+    """Stage: read a table from the catalog."""
     table: str
 
 
 @dataclass(frozen=True)
 class Filter(Stage):
+    """Stage: keep rows satisfying a predicate."""
     predicate: Expr
     pushed_down: bool = False
 
@@ -58,6 +60,7 @@ class PredictStage(Stage):
 
 @dataclass(frozen=True)
 class Aggregate(Stage):
+    """Stage: grouped or global aggregation."""
     group_by: tuple[Expr, ...]
     items: tuple[SelectItem, ...]
     having: Expr | None = None
@@ -65,16 +68,19 @@ class Aggregate(Stage):
 
 @dataclass(frozen=True)
 class Project(Stage):
+    """Stage: evaluate the SELECT list."""
     items: tuple[SelectItem, ...]
 
 
 @dataclass(frozen=True)
 class Sort(Stage):
+    """Stage: order the result rows."""
     keys: tuple[OrderItem, ...]
 
 
 @dataclass(frozen=True)
 class Limit(Stage):
+    """Stage: truncate the result."""
     count: int
 
 
@@ -85,6 +91,7 @@ class Plan:
     stages: list[Stage] = field(default_factory=list)
 
     def describe(self) -> str:
+        """One-line-per-stage rendering of the plan."""
         lines = []
         for stage in self.stages:
             name = type(stage).__name__
@@ -111,6 +118,7 @@ def split_conjuncts(expr: Expr) -> list[Expr]:
 
 
 def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    """AND together a list of predicates (None when empty)."""
     if not conjuncts:
         return None
     out = conjuncts[0]

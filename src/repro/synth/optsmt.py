@@ -106,6 +106,7 @@ class OptSmtSynthesizer:
     _deadline: float = field(default=0.0, repr=False)
 
     def solve(self, relation: Relation) -> OptSmtOutcome:
+        """Run the OptSMT encoding on ``relation``; return the outcome."""
         start = time.perf_counter()
         self._deadline = start + self.time_limit
         n_clauses = estimate_clause_count(relation, self.max_determinants)

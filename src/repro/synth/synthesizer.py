@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..dsl import Program, program_coverage, program_loss, program_violations
 from ..pgm import CITester, PCResult, enumerate_mec, learn_cpdag
 from ..relation import Relation
@@ -39,6 +40,7 @@ class SynthesisResult:
 
     @property
     def total_time(self) -> float:
+        """Sum of the per-phase wall-clock timings."""
         return sum(self.timings.values())
 
 
@@ -91,37 +93,60 @@ def synthesize(
     program with the highest coverage.
     """
     config = config or GuardrailConfig()
+    with obs.span(
+        "synth.synthesize",
+        n_rows=relation.n_rows,
+        n_attributes=len(relation.schema),
+        epsilon=config.epsilon,
+    ) as run_span:
+        result = _synthesize(relation, config)
+        run_span.set(
+            statements=len(result.program),
+            dags=result.n_dags_enumerated,
+            ci_tests=result.pc_result.n_ci_tests,
+            loss=result.loss,
+        )
+    return result
+
+
+def _synthesize(
+    relation: Relation, config: GuardrailConfig
+) -> SynthesisResult:
+    """The span-free body of :func:`synthesize` (Alg. 2 proper)."""
     rng = np.random.default_rng(config.seed)
     timings: dict[str, float] = {}
 
     # Phase 1: sampling (auxiliary distribution by default, §4.6).
     start = time.perf_counter()
-    codes, names = config.sampler.transform(relation, rng)
+    with obs.span("synth.sampling"):
+        codes, names = config.sampler.transform(relation, rng)
     timings["sampling"] = time.perf_counter() - start
 
     # Phase 2: structure learning to the MEC (§4.4).
     start = time.perf_counter()
-    tester = CITester(
-        codes,
-        names,
-        alpha=config.alpha,
-        min_samples_per_dof=config.min_samples_per_dof,
-    )
-    if config.learner == "hc":
-        # Score-based alternative: hill-climb a DAG, then take its
-        # equivalence class (the CPDAG) so the rest of Alg. 2 is shared.
-        from ..pgm import cpdag_from_dag, hill_climb
+    with obs.span("synth.structure_learning", learner=config.learner):
+        tester = CITester(
+            codes,
+            names,
+            alpha=config.alpha,
+            min_samples_per_dof=config.min_samples_per_dof,
+        )
+        if config.learner == "hc":
+            # Score-based alternative: hill-climb a DAG, then take its
+            # equivalence class (the CPDAG) so the rest of Alg. 2 is
+            # shared.
+            from ..pgm import cpdag_from_dag, hill_climb
 
-        hc_result = hill_climb(codes, names)
-        pc_result = PCResult(
-            cpdag=cpdag_from_dag(hc_result.dag),
-            separating_sets={},
-            n_ci_tests=hc_result.families_scored,
-        )
-    else:
-        pc_result = learn_cpdag(
-            tester, max_condition_size=config.max_condition_size
-        )
+            hc_result = hill_climb(codes, names)
+            pc_result = PCResult(
+                cpdag=cpdag_from_dag(hc_result.dag),
+                separating_sets={},
+                n_ci_tests=hc_result.families_scored,
+            )
+        else:
+            pc_result = learn_cpdag(
+                tester, max_condition_size=config.max_condition_size
+            )
     timings["structure_learning"] = time.perf_counter() - start
 
     # Phase 3: MEC enumeration + sketch concretization (Alg. 2).
@@ -160,10 +185,16 @@ def synthesize(
             best_coverage = coverage
             best_program = program
 
-    for dag in enumerate_candidate_dags(
-        pc_result.cpdag, max_dags=config.max_dags
-    ):
-        consider(dag)
+    with obs.span("synth.enumeration_and_fill") as fill_span:
+        for dag in enumerate_candidate_dags(
+            pc_result.cpdag, max_dags=config.max_dags
+        ):
+            consider(dag)
+        fill_span.set(
+            dags=n_dags,
+            cache_hits=stats.cache_hits,
+            statements_filled=stats.statements_filled,
+        )
     timings["enumeration_and_fill"] = time.perf_counter() - start
 
     loss = program_loss(best_program, relation)
@@ -203,16 +234,19 @@ class Guardrail:
 
     @property
     def is_fitted(self) -> bool:
+        """Has ``fit()`` completed?"""
         return self._result is not None
 
     @property
     def result(self) -> SynthesisResult:
+        """The full SynthesisResult; raises RuntimeError when unfitted."""
         if self._result is None:
             raise RuntimeError("Guardrail is not fitted; call fit() first")
         return self._result
 
     @property
     def program(self) -> Program:
+        """The synthesized program."""
         return self.result.program
 
     # ------------------------------------------------------------------

@@ -1,0 +1,18 @@
+"""Wire the docstring-coverage gate into the default test run."""
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS_DIR))
+
+from check_docstrings import find_violations  # noqa: E402
+
+
+def test_public_api_is_fully_documented():
+    violations = find_violations()
+    assert not violations, (
+        f"{len(violations)} public definition(s) missing docstrings "
+        f"(run `python tools/check_docstrings.py` for the list):\n"
+        + "\n".join(f"  {v}" for v in violations)
+    )

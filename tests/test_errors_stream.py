@@ -1,0 +1,114 @@
+"""Edge-case tests for the streaming RowGuard and GuardStats."""
+
+import pytest
+
+from repro.dsl import Program, row_conforms
+from repro.errors import DataIntegrityError, GuardStats, RowGuard
+
+
+class TestEmptyProgram:
+    @pytest.fixture
+    def guard(self) -> RowGuard:
+        return RowGuard(Program.empty())
+
+    def test_any_row_passes(self, guard):
+        assert guard.check({"x": 1, "y": "anything"}).ok
+        assert guard.check({}).ok
+
+    def test_has_no_statements(self, guard):
+        assert len(guard) == 0
+
+    def test_rectify_returns_equal_copy(self, guard):
+        row = {"x": 1}
+        repaired = guard.rectify(row)
+        assert repaired == row
+        assert repaired is not row  # a copy, not the caller's dict
+        assert guard.stats.rows_rectified == 0
+
+    def test_stats_still_count(self, guard):
+        guard.check({})
+        assert guard.stats.rows_checked == 1
+        assert guard.stats.rows_flagged == 0
+
+
+class TestMissingDeterminant:
+    def test_row_without_determinant_is_uncovered(self, city_program):
+        guard = RowGuard(city_program)
+        # No PostalCode ⇒ the City statement warrants nothing; the
+        # chain below it still applies.
+        verdict = guard.check(
+            {"City": "Berkeley", "State": "CA", "Country": "USA"}
+        )
+        assert verdict.ok
+
+    def test_missing_determinant_does_not_mask_downstream(
+        self, city_program
+    ):
+        guard = RowGuard(city_program)
+        verdict = guard.check(
+            {"City": "Berkeley", "State": "TX", "Country": "USA"}
+        )
+        assert not verdict.ok
+        assert ("State", "CA") in verdict.violations
+
+    def test_missing_dependent_counts_as_violation(self, city_program):
+        guard = RowGuard(city_program)
+        verdict = guard.check({"PostalCode": "94704"})
+        assert not verdict.ok
+        assert ("City", "Berkeley") in verdict.violations
+
+
+class TestRectifyMultiStatementConflict:
+    def test_corrupted_mid_chain_determinant(self, city_program):
+        """One wrong City fires two statements; repair must settle both."""
+        guard = RowGuard(city_program)
+        row = {
+            "PostalCode": "94704",
+            "City": "NewYork",  # corrupted: violates City *and* State
+            "State": "CA",
+            "Country": "USA",
+        }
+        assert len(guard.check(row).violations) >= 2
+        repaired = guard.rectify(row)
+        assert row_conforms(city_program, repaired)
+        assert repaired["City"] == "Berkeley"
+        assert repaired["State"] == "CA"
+        assert guard.stats.rows_rectified == 1
+
+    def test_rectify_clean_row_is_noop(self, city_program):
+        guard = RowGuard(city_program)
+        row = {
+            "PostalCode": "10001",
+            "City": "NewYork",
+            "State": "NY",
+            "Country": "USA",
+        }
+        assert guard.rectify(row) == row
+        assert guard.stats.rows_rectified == 0
+
+
+class TestGuardStats:
+    def test_violation_rate_with_zero_rows(self):
+        assert GuardStats().violation_rate == 0.0
+
+    def test_violation_rate(self, city_program):
+        guard = RowGuard(city_program)
+        clean = {
+            "PostalCode": "94704",
+            "City": "Berkeley",
+            "State": "CA",
+            "Country": "USA",
+        }
+        guard.check(clean)
+        guard.check({**clean, "City": "wrong"})
+        assert guard.stats.violation_rate == pytest.approx(0.5)
+        assert guard.stats.violations_by_attribute == {"City": 1}
+
+    def test_process_strategies(self, city_program):
+        guard = RowGuard(city_program)
+        bad = {"PostalCode": "94704", "City": "wrong"}
+        with pytest.raises(DataIntegrityError):
+            guard.process(bad, "raise")
+        assert guard.process(bad, "ignore")["City"] == "wrong"
+        assert guard.process(bad, "coerce")["City"] is None
+        assert guard.process(bad, "rectify")["City"] == "Berkeley"

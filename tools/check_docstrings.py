@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Docstring coverage gate for the public API of ``src/repro``.
+
+Every public module, class, function, and method must carry a
+docstring — the documented-on-day-one policy backing ``docs/API.md``.
+"Public" means the dotted path contains no ``_``-prefixed component;
+dunder methods and nested (local) functions are exempt, as are
+``@overload`` stubs and trivial ``...``-bodied protocol members.
+
+Run directly (``python tools/check_docstrings.py``) for a report and a
+non-zero exit on violations; ``tests/test_docstring_coverage.py`` wires
+the same check into the default pytest run.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_stub(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+    """Overload/protocol stubs (``...`` body) need no docstring."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "overload":
+            return True
+    body = node.body
+    return len(body) == 1 and (
+        isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and body[0].value.value is Ellipsis
+    )
+
+
+def _walk_definitions(module: ast.Module, module_name: str):
+    """Yield (dotted_name, node, lineno) for public defs and classes."""
+    stack: list[tuple[str, ast.AST]] = [(module_name, module)]
+    while stack:
+        prefix, parent = stack.pop()
+        for node in ast.iter_child_nodes(parent):
+            if isinstance(node, ast.ClassDef):
+                if not _is_public(node.name):
+                    continue
+                dotted = f"{prefix}.{node.name}"
+                yield dotted, node, node.lineno
+                stack.append((dotted, node))
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                is_dunder = node.name.startswith(
+                    "__"
+                ) and node.name.endswith("__")
+                if is_dunder or not _is_public(node.name):
+                    continue
+                if _is_stub(node):
+                    continue
+                yield f"{prefix}.{node.name}", node, node.lineno
+                # Do not descend: locals of a function are not API.
+
+
+def module_name_for(path: Path) -> str:
+    relative = path.relative_to(PACKAGE_ROOT.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def find_violations(root: Path = PACKAGE_ROOT) -> list[str]:
+    """All public definitions under ``root`` lacking a docstring."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        name = module_name_for(path)
+        if any(
+            part.startswith("_") and part != "__init__"
+            for part in path.relative_to(root.parent).parts
+        ) and path.name != "__init__.py":
+            continue  # private module
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=str(path)
+        )
+        relative = path.relative_to(REPO_ROOT)
+        if ast.get_docstring(tree) is None:
+            violations.append(f"{relative}:1 module {name}")
+        for dotted, node, lineno in _walk_definitions(tree, name):
+            if ast.get_docstring(node) is None:
+                kind = (
+                    "class"
+                    if isinstance(node, ast.ClassDef)
+                    else "function"
+                )
+                violations.append(f"{relative}:{lineno} {kind} {dotted}")
+    return violations
+
+
+def main() -> int:
+    """CLI entry: print violations, exit 1 when any exist."""
+    violations = find_violations()
+    if violations:
+        print(
+            f"{len(violations)} public definition(s) missing docstrings:"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("docstring coverage: 100% of the public API")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
