@@ -6,6 +6,11 @@
   ``ε`` fraction of its applicable rows.
 * **Coverage** (Eqns. 5–6): the fraction of rows a branch/statement
   touches; program coverage averages statement coverages.
+
+All measures go through the compiled layer's per-relation caches
+(:func:`repro.dsl.compiled.branch_stats`), so re-scoring the same
+branches across Algorithm 2's many candidate programs costs one mask
+computation total, not one per candidate.
 """
 
 from __future__ import annotations
@@ -14,26 +19,22 @@ import numpy as np
 
 from ..relation import Relation
 from .ast import Branch, Program, Statement
-from .semantics import branch_masks, statement_coverage_mask
+from .compiled import branch_stats, coverage_mask
 
 
 def branch_loss(branch: Branch, relation: Relation) -> int:
     """``L(b, D)``: count of applicable rows violating the branch."""
-    _, violating = branch_masks(branch, relation)
-    return int(np.count_nonzero(violating))
+    return branch_stats(branch, relation)[1]
 
 
 def branch_support(branch: Branch, relation: Relation) -> int:
     """``|D^b|``: count of rows satisfying the branch condition."""
-    applicable, _ = branch_masks(branch, relation)
-    return int(np.count_nonzero(applicable))
+    return branch_stats(branch, relation)[0]
 
 
 def branch_is_valid(branch: Branch, relation: Relation, epsilon: float) -> bool:
     """Branch-level ε-validity: ``L(b, D) <= |D^b| * ε``."""
-    applicable, violating = branch_masks(branch, relation)
-    support = int(np.count_nonzero(applicable))
-    loss = int(np.count_nonzero(violating))
+    support, loss = branch_stats(branch, relation)
     return loss <= support * epsilon
 
 
@@ -79,7 +80,7 @@ def statement_coverage(statement: Statement, relation: Relation) -> float:
     """
     if relation.n_rows == 0:
         return 0.0
-    mask = statement_coverage_mask(statement, relation)
+    mask = coverage_mask(statement, relation)
     return int(np.count_nonzero(mask)) / relation.n_rows
 
 

@@ -1,13 +1,25 @@
 """Denotational semantics of the DSL (paper §2.2, Fig. 2).
 
-Two evaluation modes are provided:
+**The canonical semantics (Eqn. 1).**  There is exactly one notion of
+"row ``t`` is erroneous" in this codebase: ``[[p]]_t != t``, where
+``[[p]]_t`` executes the program's statements in order, each statement
+applies the **first** branch whose condition the *current* state
+satisfies, and the **updated state is threaded** into the statements
+that follow.  Every evaluation path implements this definition:
 
-* **Row semantics** — ``[[p]]_t``: execute a program on a single row
-  (a dict-shaped program state), producing the updated state.  This is
-  the semantics of Fig. 2 and drives rectification.
-* **Vectorized semantics** — evaluate condition masks and violation
-  masks over an entire :class:`~repro.relation.Relation` at once, which
-  is how detection and the loss function are computed at scale.
+* **Row semantics** (here): :func:`run_program` / :func:`row_conforms`
+  — the executable reference, also driving rectification.
+* **Vectorized semantics**: :func:`program_violations` (delegating to
+  the compiled kernels of :mod:`repro.dsl.compiled`) — identical
+  verdicts, computed over whole relations at once.
+* **Streaming guards**: :class:`repro.errors.stream.RowGuard` and
+  :class:`~repro.errors.stream.BatchGuard` — identical verdicts, per
+  incoming row or micro-batch.
+
+The *branch-local* helpers (:func:`condition_mask`,
+:func:`branch_masks`) are deliberately not state-threaded: they back
+the ε-validity / loss / coverage metrics (Eqns. 2–6), which judge each
+branch against the data as observed.
 """
 
 from __future__ import annotations
@@ -112,20 +124,33 @@ def branch_masks(
 
 
 def statement_violations(statement: Statement, relation: Relation) -> np.ndarray:
-    """Mask of rows violating any branch of the statement."""
+    """Mask of rows whose *first* matching branch would rewrite them.
+
+    First-match, like :func:`apply_statement`: once a branch's
+    condition claims a row, later branches never see it, so a row can
+    never be double-flagged by overlapping conditions.
+    """
     out = np.zeros(relation.n_rows, dtype=bool)
+    unclaimed = np.ones(relation.n_rows, dtype=bool)
     for branch in statement.branches:
-        _, violating = branch_masks(branch, relation)
-        out |= violating
+        applicable, violating = branch_masks(branch, relation)
+        out |= violating & unclaimed
+        unclaimed &= ~applicable
     return out
 
 
 def program_violations(program: Program, relation: Relation) -> np.ndarray:
-    """Mask of rows violating the program (Eqn. 1 vectorized over D)."""
-    out = np.zeros(relation.n_rows, dtype=bool)
-    for statement in program.statements:
-        out |= statement_violations(statement, relation)
-    return out
+    """Mask of rows violating the program (Eqn. 1 vectorized over D).
+
+    Exactly ``[not row_conforms(p, t) for t in D]``: first-match branch
+    selection *and* state threading, so a statement that rewrites an
+    attribute feeds the corrected value to the statements after it.
+    Implemented by the compiled kernels (:mod:`repro.dsl.compiled`),
+    which cache condition masks per relation.
+    """
+    from .compiled import compiled_for
+
+    return compiled_for(program, relation).detect(relation).row_mask
 
 
 def statement_coverage_mask(statement: Statement, relation: Relation) -> np.ndarray:

@@ -7,7 +7,7 @@ from .handle import (
     Strategy,
     apply_strategy,
 )
-from .stream import GuardStats, RowGuard, RowVerdict
+from .stream import BatchGuard, GuardStats, RowGuard, RowVerdict
 from .inject import (
     InjectedError,
     InjectionReport,
@@ -16,6 +16,7 @@ from .inject import (
 )
 
 __all__ = [
+    "BatchGuard",
     "RowGuard",
     "RowVerdict",
     "GuardStats",

@@ -1,11 +1,17 @@
 """Violation detection against a synthesized program (paper Eqn. 1).
 
 A row *violates* the program when executing the DGP program on it
-changes some attribute — the branch whose condition the row satisfies
-assigns a different value than the one observed.  Detection reports both
-row-level verdicts and the implicated cells (the dependent attribute of
-each violated branch), which is what cell-level scoring and the rectify
-strategy consume.
+changes some attribute: ``[[p]]_t != t``, with first-match branch
+selection and state threading exactly as :func:`repro.dsl.run_program`
+defines (the canonical semantics — see :mod:`repro.dsl.semantics`).
+Detection reports both row-level verdicts and the implicated cells (the
+dependent attribute of each state-changing branch application), which
+is what cell-level scoring and the rectify strategy consume.
+
+The heavy lifting happens in the compiled kernels of
+:mod:`repro.dsl.compiled`: the program is lowered once per codec set,
+and condition masks are cached per relation, so repeated detection over
+the same data costs a handful of array ops.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
-from ..dsl import Branch, Program, branch_masks
+from ..dsl import Branch, Program, compiled_for
 from ..relation import Relation
 
 
@@ -66,24 +72,25 @@ class DetectionResult:
 
 
 def detect_errors(program: Program, relation: Relation) -> DetectionResult:
-    """Find every (row, branch) violation, vectorized per branch."""
+    """Find every (row, branch) violation via the compiled kernels.
+
+    Verdicts agree exactly with per-row :func:`repro.dsl.row_conforms`:
+    ``row_mask[i]`` is True iff running the program on row ``i`` changes
+    it, and each reported :class:`Violation` is one state-changing
+    first-match branch application on a flagged row.
+    """
     with obs.span(
         "errors.detect",
         n_rows=relation.n_rows,
         n_statements=len(program),
     ) as detect_span:
-        row_mask = np.zeros(relation.n_rows, dtype=bool)
-        violations: list[Violation] = []
-        for statement in program:
-            for branch in statement.branches:
-                _, violating = branch_masks(branch, relation)
-                if not violating.any():
-                    continue
-                row_mask |= violating
-                for row in np.nonzero(violating)[0]:
-                    violations.append(Violation(int(row), branch))
+        result = compiled_for(program, relation).detect(relation)
+        violations = [
+            Violation(int(row), branch)
+            for row, branch in result.iter_violations()
+        ]
         detect_span.set(
-            flagged_rows=int(np.count_nonzero(row_mask)),
+            flagged_rows=result.n_flagged,
             violations=len(violations),
         )
-    return DetectionResult(row_mask=row_mask, violations=violations)
+    return DetectionResult(row_mask=result.row_mask, violations=violations)

@@ -20,7 +20,7 @@ from typing import Hashable
 
 import numpy as np
 
-from ..dsl import Program, branch_masks
+from ..dsl import Program
 from ..relation import MISSING, Relation
 from .detect import DetectionResult, detect_errors
 
@@ -97,21 +97,21 @@ def apply_strategy(
 def _coerce(
     program: Program, relation: Relation, detection: DetectionResult
 ) -> HandlingOutcome:
-    """Blank every violated dependent cell."""
+    """Blank every violated dependent cell.
+
+    The blanked cells are exactly the ones the canonical detection
+    implicates (first-match, state-threaded), so a corrupted upstream
+    determinant no longer blanks the — consistent — cells downstream
+    of its corrected value.
+    """
     changed: list[tuple[int, str]] = []
-    codes = {}
-    for statement in program:
-        for branch in statement.branches:
-            _, violating = branch_masks(branch, relation)
-            if not violating.any():
-                continue
-            name = branch.dependent
-            if name not in codes:
-                codes[name] = relation.codes(name).copy()
-            codes[name][violating] = MISSING
-            changed.extend(
-                (int(r), name) for r in np.nonzero(violating)[0]
-            )
+    codes: dict[str, np.ndarray] = {}
+    for violation in detection.violations:
+        name = violation.attribute
+        if name not in codes:
+            codes[name] = relation.codes(name).copy()
+        codes[name][violation.row] = MISSING
+        changed.append((violation.row, name))
     out = relation
     for name, arr in codes.items():
         out = out.replace_codes(name, arr)

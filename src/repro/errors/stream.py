@@ -1,27 +1,43 @@
-"""Streaming row-level guarding (the deployment mode of Fig. 1).
+"""Streaming guards (the deployment mode of Fig. 1).
 
 The batch path (:mod:`repro.errors.detect`) vectorizes over a whole
-relation; production guardrails instead vet rows *one at a time* as
-they arrive at the model.  :class:`RowGuard` compiles a program into
-per-statement hash indexes (determinant values → expected literal), so
-each row costs O(#statements) dictionary probes regardless of how many
-branches the program has.
+relation; production guardrails instead vet rows as they arrive at the
+model.  Two compiled forms of the same canonical semantics
+(first-match, state-threaded Eqn. 1 — see :mod:`repro.dsl.semantics`)
+cover the two arrival patterns:
+
+* :class:`RowGuard` vets rows *one at a time*: the program becomes
+  per-statement hash indexes (determinant values → expected literal),
+  so each row costs O(#statements) dictionary probes regardless of how
+  many branches the program has.
+* :class:`BatchGuard` vets *micro-batches*: rows are integer-coded and
+  pushed through the numpy kernels of :mod:`repro.dsl.compiled`,
+  amortizing the per-row probe overhead across the batch.
 
     guard = RowGuard(program)
     verdict = guard.check({"rel": "Husband", "marital-status": "Single"})
     verdict.ok                 # False
-    verdict.violations         # [("marital-status", "Married-civ-spouse")]
+    verdict.violations         # (("marital-status", "Married-civ-spouse"),)
     guard.rectify(row)         # repaired copy of the row
+
+    batch = BatchGuard(program, batch_size=256)
+    for verdict in batch.stream(incoming_rows):
+        ...
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from .. import obs
 from ..dsl import Program
+from ..dsl.compiled import compile_program, compiled_for
+from ..relation import Relation
+from ..relation.encoding import Codec
 
 
 @dataclass(frozen=True)
@@ -73,7 +89,11 @@ class RowGuard:
                     branch.condition.value_of(d)
                     for d in statement.determinants
                 )
-                table[key] = branch.literal
+                # setdefault, not assignment: if two branches ever carry
+                # the same determinant values (impossible via the
+                # Statement constructor, but hand-built programs exist),
+                # first-match order must win, not last-write.
+                table.setdefault(key, branch.literal)
             self._statements.append(
                 _CompiledStatement(
                     statement.determinants, statement.dependent, table
@@ -113,17 +133,25 @@ class RowGuard:
         return verdict
 
     def _verdict(self, row: Mapping[str, Hashable]) -> RowVerdict:
-        """Stat-free vetting (used internally by repair)."""
-        violations: list[tuple[str, Hashable]] = []
+        """Stat-free vetting (used internally by repair).
+
+        Implements the canonical Eqn. 1 semantics: statements probe the
+        *threaded* state (an upstream rewrite feeds downstream reads),
+        and the verdict compares the final state with the input row.
+        """
+        original = dict(row)
+        state = dict(original)
+        writes: list[tuple[str, Hashable]] = []
         for compiled in self._statements:
-            expected = self._expected(compiled, row)
+            expected = self._expected(compiled, state)
             if expected is _NO_BRANCH:
                 continue
-            if row.get(compiled.dependent) != expected:
-                violations.append((compiled.dependent, expected))
-        if violations:
-            return RowVerdict(False, tuple(violations))
-        return RowVerdict(True)
+            if state.get(compiled.dependent) != expected:
+                writes.append((compiled.dependent, expected))
+                state[compiled.dependent] = expected
+        if state == original:
+            return RowVerdict(True)
+        return RowVerdict(False, tuple(writes))
 
     def rectify(self, row: Mapping[str, Hashable]) -> dict[str, Hashable]:
         """Repair one row (same policy as the batch rectify strategy).
@@ -187,11 +215,153 @@ class RowGuard:
     def _expected(
         self, compiled: _CompiledStatement, row: Mapping[str, Hashable]
     ):
-        key = tuple(row.get(d, _NO_BRANCH) for d in compiled.determinants)
+        # row.get(d) defaults to None, matching condition_holds: an
+        # absent attribute behaves like a missing (None) cell.
+        key = tuple(row.get(d) for d in compiled.determinants)
         return compiled.table.get(key, _NO_BRANCH)
 
     def __len__(self) -> int:
         return len(self._statements)
+
+
+class BatchGuard:
+    """Vectorized sibling of :class:`RowGuard` for micro-batched vetting.
+
+    Rows are integer-coded against the program's compiled codecs and
+    evaluated by the numpy kernels of :mod:`repro.dsl.compiled`, so the
+    per-row cost of dictionary probes is amortized across the batch.
+    Verdicts are identical to :class:`RowGuard` — both implement the
+    canonical first-match, state-threaded Eqn. 1 semantics.
+
+    Parameters
+    ----------
+    program:
+        The integrity-constraint program to enforce.
+    codecs:
+        Optional base codecs (e.g. the training relation's) to compile
+        against; the program's own literals are always folded in, so
+        omitting this is safe.
+    batch_size:
+        Rows per kernel invocation when consuming a stream.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        codecs: Mapping[str, Codec] | None = None,
+        batch_size: int = 256,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.program = program
+        self.batch_size = int(batch_size)
+        self._compiled = compile_program(program, codecs)
+        self.stats = GuardStats()
+
+    # ------------------------------------------------------------------
+
+    def check_batch(
+        self, rows: Sequence[Mapping[str, Hashable]]
+    ) -> list[RowVerdict]:
+        """Vet a batch of rows in one kernel pass.
+
+        Returns one :class:`RowVerdict` per input row, in order.  With
+        tracing enabled a ``guard.batch`` record and a latency sample
+        are emitted per flush.
+        """
+        rows = list(rows)
+        traced = obs.enabled()
+        start = time.perf_counter() if traced else 0.0
+        verdicts = self._verdicts(rows)
+        flagged = 0
+        for verdict in verdicts:
+            self.stats.rows_checked += 1
+            if not verdict.ok:
+                flagged += 1
+                self.stats.rows_flagged += 1
+                for attribute, _ in verdict.violations:
+                    self.stats.violations_by_attribute[attribute] = (
+                        self.stats.violations_by_attribute.get(attribute, 0)
+                        + 1
+                    )
+        if traced:
+            obs.observe(
+                "guard.batch_seconds", time.perf_counter() - start
+            )
+            obs.record(
+                "guard.batch", n_rows=len(rows), flagged=flagged
+            )
+        return verdicts
+
+    def check(self, row: Mapping[str, Hashable]) -> RowVerdict:
+        """Vet a single row (a batch of one; prefer :meth:`stream`)."""
+        return self.check_batch([row])[0]
+
+    def stream(
+        self, rows: Iterable[Mapping[str, Hashable]]
+    ) -> Iterator[RowVerdict]:
+        """Vet an incoming row stream with micro-batching.
+
+        Rows are buffered up to ``batch_size`` and flushed through the
+        kernel; verdicts are yielded in arrival order.  The tail batch
+        flushes when the iterable is exhausted.
+        """
+        buffer: list[Mapping[str, Hashable]] = []
+        for row in rows:
+            buffer.append(row)
+            if len(buffer) >= self.batch_size:
+                yield from self.check_batch(buffer)
+                buffer = []
+        if buffer:
+            yield from self.check_batch(buffer)
+
+    def check_relation(self, relation: Relation) -> np.ndarray:
+        """Row-violation mask for a whole relation.
+
+        Compiles against the relation's own codecs (memoized), so this
+        matches :func:`repro.errors.detect.detect_errors` bit for bit.
+        """
+        result = compiled_for(self.program, relation).detect(relation)
+        self.stats.rows_checked += relation.n_rows
+        self.stats.rows_flagged += result.n_flagged
+        return result.row_mask
+
+    # ------------------------------------------------------------------
+
+    def _verdicts(
+        self, rows: list[Mapping[str, Hashable]]
+    ) -> list[RowVerdict]:
+        if not rows:
+            return []
+        compiled = self._compiled
+        if not compiled.statements:
+            return [RowVerdict(True) for _ in rows]
+        codes = {
+            attribute: np.fromiter(
+                (
+                    compiled.encode_value(attribute, row.get(attribute))
+                    for row in rows
+                ),
+                dtype=np.int32,
+                count=len(rows),
+            )
+            for attribute in compiled.attributes
+        }
+        result = compiled.run_codes(codes, len(rows))
+        per_row: dict[int, list[tuple[str, Hashable]]] = {}
+        for row_index, branch in result.iter_violations():
+            per_row.setdefault(row_index, []).append(
+                (branch.dependent, branch.literal)
+            )
+        return [
+            RowVerdict(False, tuple(per_row[index]))
+            if index in per_row
+            else RowVerdict(True)
+            for index in range(len(rows))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._compiled.statements)
 
 
 class _Sentinel:

@@ -42,7 +42,9 @@ class Relation:
         Mapping from categorical attribute name to its :class:`Codec`.
     """
 
-    __slots__ = ("_schema", "_columns", "_codecs", "_n_rows")
+    # ``__weakref__`` lets the compiled-DSL layer key its condition-mask
+    # caches on relations without pinning them in memory.
+    __slots__ = ("_schema", "_columns", "_codecs", "_n_rows", "__weakref__")
 
     def __init__(
         self,

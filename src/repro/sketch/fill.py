@@ -25,6 +25,7 @@ import numpy as np
 
 from .. import obs
 from ..dsl.ast import Branch, Condition, Program, Statement
+from ..dsl.compiled import prime_condition_mask
 from ..relation import MISSING, Relation
 from .ast import ProgramSketch, StatementSketch
 
@@ -110,7 +111,14 @@ def fill_statement_sketch(
             for name, code in zip(determinants, config)
         )
         literal = dep_codec.decode_one(best_code)
-        branches.append(Branch(Condition(atoms), dependent, literal))
+        branch = Branch(Condition(atoms), dependent, literal)
+        branches.append(branch)
+        # The group already IS the condition's row set; hand it to the
+        # shared mask cache so downstream metrics/detection skip the
+        # recompute.
+        mask = np.zeros(relation.n_rows, dtype=bool)
+        mask[indices] = True
+        prime_condition_mask(branch.condition, relation, mask)
         if stats is not None:
             stats.branches_kept += 1
 

@@ -348,6 +348,7 @@ class ExecutionMetrics:
     total_seconds: float = 0.0
     rows_scanned: int = 0
     rows_predicted: int = 0
+    rows_flagged: int = 0
     rows_rectified: int = 0
 
 
@@ -422,6 +423,9 @@ class QueryExecutor:
                 relation = relation.filter(mask)
                 extras = {k: v[mask] for k, v in extras.items()}
             elif isinstance(stage, Guard):
+                # Detection inside handle() runs through the compiled
+                # kernels (repro.dsl.compiled), so the guard stage pays
+                # array ops, not a per-branch Python loop.
                 assert relation is not None
                 tick = time.perf_counter()
                 with obs.span(
@@ -430,8 +434,12 @@ class QueryExecutor:
                     outcome = self.guardrail.handle(
                         relation, stage.strategy
                     )
-                    guard_span.set(rows_rectified=outcome.n_changed)
+                    guard_span.set(
+                        rows_flagged=outcome.detection.n_flagged_rows,
+                        rows_rectified=outcome.n_changed,
+                    )
                 relation = outcome.relation
+                metrics.rows_flagged = outcome.detection.n_flagged_rows
                 metrics.rows_rectified = outcome.n_changed
                 metrics.guard_seconds += time.perf_counter() - tick
             elif isinstance(stage, PredictStage):
@@ -472,6 +480,7 @@ class QueryExecutor:
                 total_s=metrics.total_seconds,
                 rows_scanned=metrics.rows_scanned,
                 rows_predicted=metrics.rows_predicted,
+                rows_flagged=metrics.rows_flagged,
                 rows_rectified=metrics.rows_rectified,
             )
         if result is None:

@@ -252,7 +252,12 @@ class Guardrail:
     # ------------------------------------------------------------------
 
     def check(self, relation: Relation) -> np.ndarray:
-        """Boolean mask of rows violating the synthesized constraints."""
+        """Boolean mask of rows violating the synthesized constraints.
+
+        Runs through the compiled kernels of :mod:`repro.dsl.compiled`
+        (lowered once per program/codec pair, condition masks cached per
+        relation), so repeated checks over the same data are cheap.
+        """
         return program_violations(self.program, relation)
 
     def check_row(self, row: dict) -> bool:
@@ -260,6 +265,26 @@ class Guardrail:
         from ..dsl import row_conforms
 
         return not row_conforms(self.program, row)
+
+    def row_guard(self):
+        """A :class:`repro.errors.RowGuard` over the fitted program.
+
+        Per-row hash-probe vetting for one-at-a-time arrival; verdicts
+        match :meth:`check` exactly (canonical Eqn. 1 semantics).
+        """
+        from ..errors import RowGuard
+
+        return RowGuard(self.program)
+
+    def batch_guard(self, batch_size: int = 256):
+        """A :class:`repro.errors.BatchGuard` over the fitted program.
+
+        Micro-batched kernel vetting for streaming arrival; verdicts
+        match :meth:`check` exactly (canonical Eqn. 1 semantics).
+        """
+        from ..errors import BatchGuard
+
+        return BatchGuard(self.program, batch_size=batch_size)
 
     def handle(self, relation: Relation, strategy: str = "rectify"):
         """Apply an error-handling strategy; see :mod:`repro.errors`."""

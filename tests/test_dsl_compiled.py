@@ -1,0 +1,253 @@
+"""Tests for repro.dsl.compiled (kernels, caches, obs counters)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.dsl import (
+    UNSEEN,
+    Branch,
+    Condition,
+    branch_loss,
+    branch_stats,
+    branch_support,
+    cached_condition_mask,
+    clear_dsl_caches,
+    compile_program,
+    compiled_for,
+    coverage_mask,
+    parse_program,
+    prime_condition_mask,
+    row_conforms,
+    statement_coverage_mask,
+)
+from repro.relation import MISSING, Relation
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_dsl_caches()
+    yield
+    clear_dsl_caches()
+
+
+def _chain_program():
+    return parse_program(
+        """
+        GIVEN a ON b HAVING
+          IF a = 'a1' THEN b <- 'b1';
+        GIVEN b ON c HAVING
+          IF b = 'b1' THEN c <- 'c1';
+          IF b = 'bad' THEN c <- 'c9'
+        """
+    )
+
+
+class TestCompileCache:
+    def test_same_codecs_compile_once(self, city_program, city_relation):
+        first = compiled_for(city_program, city_relation)
+        second = compiled_for(city_program, city_relation)
+        assert first is second
+
+    def test_different_codecs_compile_separately(self, city_program):
+        assert compile_program(city_program) is not None
+        assert compile_program(city_program) is compile_program(city_program)
+
+    def test_clear_drops_entries(self, city_program):
+        first = compile_program(city_program)
+        clear_dsl_caches()
+        assert compile_program(city_program) is not first
+
+    def test_obs_counters(self, city_program):
+        with obs.tracing() as sink:
+            compile_program(city_program)
+            compile_program(city_program)
+        counters = obs.aggregate_counters(sink.events)
+        assert counters.get("dsl.compile") == 1
+        assert counters.get("dsl.compile.cache_hit") == 1
+
+
+class TestMaskCache:
+    def test_mask_is_read_only_and_shared(self, city_relation):
+        condition = Condition.of(PostalCode="94704")
+        mask = cached_condition_mask(condition, city_relation)
+        assert not mask.flags.writeable
+        assert cached_condition_mask(condition, city_relation) is mask
+
+    def test_prime_short_circuits_compute(self, city_relation):
+        condition = Condition.of(PostalCode="94704")
+        primed = np.zeros(city_relation.n_rows, dtype=bool)
+        prime_condition_mask(condition, city_relation, primed)
+        out = cached_condition_mask(condition, city_relation)
+        assert not out.any()  # the primed (deliberately wrong) mask won
+
+    def test_branch_stats_match_metrics(self, city_relation, city_program):
+        branch = city_program.statements[0].branches[0]
+        support, loss = branch_stats(branch, city_relation)
+        assert support == branch_support(branch, city_relation)
+        assert loss == branch_loss(branch, city_relation)
+
+    def test_coverage_mask_matches_semantics(
+        self, city_relation, city_program
+    ):
+        statement = city_program.statements[0]
+        fast = coverage_mask(statement, city_relation)
+        slow = statement_coverage_mask(statement, city_relation)
+        assert (fast == slow).all()
+        fast[0] = not fast[0]  # fresh, writable copy: no cache damage
+        assert (coverage_mask(statement, city_relation) == slow).all()
+
+
+class TestKernel:
+    def test_detect_matches_row_semantics(self, city_relation, city_program):
+        corrupted = city_relation.set_cell(3, "City", "gibbon")
+        result = compiled_for(city_program, corrupted).detect(corrupted)
+        for index in range(corrupted.n_rows):
+            assert result.row_mask[index] == (
+                not row_conforms(city_program, corrupted.row(index))
+            )
+
+    def test_first_match_threading(self):
+        program = _chain_program()
+        rows = [
+            {"a": "a1", "b": "bad", "c": "c1"},
+            {"a": "a1", "b": "bad", "c": "c9"},
+            {"a": "a1", "b": "b1", "c": "c1"},
+        ]
+        relation = Relation.from_rows(rows)
+        result = compiled_for(program, relation).detect(relation)
+        assert list(result.row_mask) == [True, True, False]
+        violations = sorted(
+            (row, branch.dependent, branch.literal)
+            for row, branch in result.iter_violations()
+        )
+        # Row 0: only b implicated (threaded b1 satisfies the c check);
+        # row 1: b and c both rewritten.
+        assert violations == [
+            (0, "b", "b1"),
+            (1, "b", "b1"),
+            (1, "c", "c1"),
+        ]
+
+    def test_final_codes_decode_to_run_program(self):
+        program = _chain_program()
+        relation = Relation.from_rows([{"a": "a1", "b": "bad", "c": "c9"}])
+        compiled = compiled_for(program, relation)
+        result = compiled.detect(relation)
+        decoded = {
+            attr: compiled.codec(attr).decode_one(int(codes[0]))
+            for attr, codes in result.final_codes.items()
+        }
+        assert decoded == {"b": "b1", "c": "c1"}
+
+    def test_unseen_literals_get_distinct_codes(self):
+        # Neither literal appears in the data; a shared -2 sentinel
+        # would alias them and mis-thread the second statement.
+        program = parse_program(
+            """
+            GIVEN a ON b HAVING
+              IF a = 'a1' THEN b <- 'ghost1';
+            GIVEN b ON c HAVING
+              IF b = 'ghost2' THEN c <- 'c9'
+            """
+        )
+        relation = Relation.from_rows([{"a": "a1", "b": None, "c": "c0"}])
+        result = compiled_for(program, relation).detect(relation)
+        violations = [
+            (branch.dependent, branch.literal)
+            for _, branch in result.iter_violations()
+        ]
+        # b is rewritten to ghost1; ghost1 != ghost2, so statement 2
+        # stays silent.
+        assert violations == [("b", "ghost1")]
+
+    def test_empty_program_flags_nothing(self, city_relation):
+        from repro.dsl import Program
+
+        result = compiled_for(Program.empty(), city_relation).detect(
+            city_relation
+        )
+        assert not result.row_mask.any()
+        assert list(result.iter_violations()) == []
+
+    def test_run_codes_requires_columns(self, city_program):
+        compiled = compile_program(city_program)
+        with pytest.raises(KeyError, match="needs column"):
+            compiled.run_codes({}, n_rows=3)
+
+    def test_encode_value(self, city_program, city_relation):
+        compiled = compiled_for(city_program, city_relation)
+        assert compiled.encode_value("City", None) == MISSING
+        assert compiled.encode_value("City", object()) == UNSEEN
+        code = compiled.encode_value("City", "Berkeley")
+        assert compiled.codec("City").decode_one(code) == "Berkeley"
+
+    def test_kernel_obs_counters(self, city_relation, city_program):
+        with obs.tracing() as sink:
+            compiled_for(city_program, city_relation).detect(city_relation)
+        counters = obs.aggregate_counters(sink.events)
+        assert counters.get("dsl.kernel.eval") == 1
+
+    def test_mask_cache_obs_counters(self, city_relation, city_program):
+        condition = city_program.statements[0].branches[0].condition
+        with obs.tracing() as sink:
+            cached_condition_mask(condition, city_relation)
+            cached_condition_mask(condition, city_relation)
+        counters = obs.aggregate_counters(sink.events)
+        assert counters.get("dsl.mask_cache.miss") == 1
+        assert counters.get("dsl.mask_cache.hit") == 1
+
+
+class TestArgmaxFallback:
+    def test_oversized_key_space_matches_lut_path(self, monkeypatch):
+        """Force the stacked-mask argmax path; verdicts must not move."""
+        import repro.dsl.compiled as compiled_module
+
+        program = _chain_program()
+        rows = [
+            {"a": "a1", "b": "bad", "c": "c1"},
+            {"a": "a1", "b": "bad", "c": "c9"},
+            {"a": "a1", "b": "b1", "c": "c1"},
+            {"a": None, "b": "b1", "c": "c9"},
+        ]
+        relation = Relation.from_rows(rows)
+        fast = compiled_for(program, relation).detect(relation)
+
+        clear_dsl_caches()
+        monkeypatch.setattr(compiled_module, "_LUT_MAX_ENTRIES", 0)
+        slow_program = compiled_for(program, relation)
+        assert all(s.lut is None for s in slow_program.statements)
+        slow = slow_program.detect(relation)
+
+        assert (fast.row_mask == slow.row_mask).all()
+        assert [
+            (row, branch.dependent, branch.literal)
+            for row, branch in fast.iter_violations()
+        ] == [
+            (row, branch.dependent, branch.literal)
+            for row, branch in slow.iter_violations()
+        ]
+        assert [not row_conforms(program, row) for row in rows] == list(
+            slow.row_mask
+        )
+
+
+class TestRevertEdgeCase:
+    def test_write_then_write_back_conforms(self):
+        # Statement 1 would rewrite b, statement 2 writes the original
+        # value back: the final state equals the input, so the row
+        # conforms and no phantom violations leak out.
+        program = parse_program(
+            """
+            GIVEN a ON b HAVING
+              IF a = 'a1' THEN b <- 'tmp';
+            GIVEN c ON b HAVING
+              IF c = 'c1' THEN b <- 'orig'
+            """
+        )
+        row = {"a": "a1", "b": "orig", "c": "c1"}
+        relation = Relation.from_rows([row])
+        result = compiled_for(program, relation).detect(relation)
+        assert not result.row_mask[0]
+        assert list(result.iter_violations()) == []
+        assert row_conforms(program, row)

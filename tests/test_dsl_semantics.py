@@ -137,3 +137,73 @@ class TestVectorizedSemantics:
         b = Branch(Condition.of(PostalCode="94704"), "City", "Berkeley")
         _, violating = branch_masks(b, relation)
         assert violating[0]
+
+
+class TestCanonicalSemanticsRegressions:
+    """Row, vector, and compiled paths share one Eqn. 1 semantics."""
+
+    def _chain(self) -> Program:
+        from repro.dsl import parse_program
+
+        return parse_program(
+            """
+            GIVEN a ON b HAVING
+              IF a = 'a1' THEN b <- 'b1';
+            GIVEN b ON c HAVING
+              IF b = 'b1' THEN c <- 'c1';
+              IF b = 'bad' THEN c <- 'c9'
+            """
+        )
+
+    def test_write_then_read_threads_state(self):
+        """Regression: program_violations used branch-local reads.
+
+        Statement 1 rewrites the corrupted b to b1; statement 2 must
+        then judge c against the threaded b1 (expecting c1, satisfied),
+        not the observed 'bad' (expecting c9, which would flag the
+        row's c as well and — worse — pass rows with c == 'c9').
+        """
+        program = self._chain()
+        rows = [
+            {"a": "a1", "b": "bad", "c": "c1"},  # only b is wrong
+            {"a": "a1", "b": "bad", "c": "c9"},  # b wrong, c judged vs b1
+            {"a": "a1", "b": "b1", "c": "c1"},   # clean
+        ]
+        relation = Relation.from_rows(rows)
+        mask = program_violations(program, relation)
+        assert list(mask) == [True, True, False]
+        for index, row in enumerate(rows):
+            assert mask[index] == (not row_conforms(program, row))
+
+    def test_run_program_matches_vector_on_chain(self):
+        program = self._chain()
+        row = {"a": "a1", "b": "bad", "c": "c9"}
+        fixed = run_program(program, row)
+        assert fixed == {"a": "a1", "b": "b1", "c": "c1"}
+
+    def test_statement_violations_first_match(self):
+        """Regression: statement_violations OR-ed *all* branch masks.
+
+        With overlapping (hand-built) conditions only the first match
+        may judge a row, exactly as run_program applies branches.
+        """
+        statement = Statement(
+            ("a",),
+            "b",
+            (
+                Branch(Condition.of(a="x"), "b", "first"),
+                Branch(Condition.of(a="y"), "b", "other"),
+            ),
+        )
+        colliding = (
+            statement.branches[0],
+            Branch(Condition.of(a="x"), "b", "second"),
+        )
+        object.__setattr__(statement, "branches", colliding)
+        relation = Relation.from_rows(
+            [{"a": "x", "b": "first"}, {"a": "x", "b": "second"}]
+        )
+        mask = statement_violations(statement, relation)
+        # Row 0 satisfies the first branch; under the all-branches bug
+        # the second branch (b != 'second') also flagged it.
+        assert list(mask) == [False, True]

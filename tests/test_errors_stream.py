@@ -1,9 +1,43 @@
-"""Edge-case tests for the streaming RowGuard and GuardStats."""
+"""Edge-case tests for the streaming guards and GuardStats."""
 
 import pytest
 
-from repro.dsl import Program, row_conforms
-from repro.errors import DataIntegrityError, GuardStats, RowGuard
+from repro.dsl import (
+    Branch,
+    Condition,
+    Program,
+    Statement,
+    row_conforms,
+)
+from repro.errors import (
+    BatchGuard,
+    DataIntegrityError,
+    GuardStats,
+    RowGuard,
+)
+
+
+def _statement_with_colliding_branches() -> Statement:
+    """Two branches with the same determinant values, built by force.
+
+    The Statement constructor rejects duplicate conditions, so this
+    hand-assembles the frozen dataclass to model a hand-built/corrupted
+    program; first-match semantics must pick the first branch.
+    """
+    statement = Statement(
+        ("a",),
+        "b",
+        (
+            Branch(Condition((("a", "x"),)), "b", "first"),
+            Branch(Condition((("a", "y"),)), "b", "other"),
+        ),
+    )
+    colliding = (
+        statement.branches[0],
+        Branch(Condition((("a", "x"),)), "b", "second"),
+    )
+    object.__setattr__(statement, "branches", colliding)
+    return statement
 
 
 class TestEmptyProgram:
@@ -60,15 +94,21 @@ class TestMissingDeterminant:
 
 class TestRectifyMultiStatementConflict:
     def test_corrupted_mid_chain_determinant(self, city_program):
-        """One wrong City fires two statements; repair must settle both."""
+        """One wrong City implicates one cell under threaded semantics.
+
+        Canonical Eqn. 1 threads the City rewrite ("Berkeley") into the
+        State statement, whose check then passes (CA is consistent with
+        Berkeley) — so exactly the corrupted cell is implicated, not the
+        correct cells downstream of it.
+        """
         guard = RowGuard(city_program)
         row = {
             "PostalCode": "94704",
-            "City": "NewYork",  # corrupted: violates City *and* State
+            "City": "NewYork",  # corrupted determinant mid-chain
             "State": "CA",
             "Country": "USA",
         }
-        assert len(guard.check(row).violations) >= 2
+        assert guard.check(row).violations == (("City", "Berkeley"),)
         repaired = guard.rectify(row)
         assert row_conforms(city_program, repaired)
         assert repaired["City"] == "Berkeley"
@@ -112,3 +152,105 @@ class TestGuardStats:
         assert guard.process(bad, "ignore")["City"] == "wrong"
         assert guard.process(bad, "coerce")["City"] is None
         assert guard.process(bad, "rectify")["City"] == "Berkeley"
+
+
+class TestBranchCollision:
+    """Two branches carrying the same determinant values (hand-built)."""
+
+    def test_rowguard_first_match_wins(self):
+        program = Program((_statement_with_colliding_branches(),))
+        guard = RowGuard(program)
+        # Before the setdefault fix, compiling the lookup table let the
+        # *last* colliding branch overwrite the first.
+        assert guard.check({"a": "x", "b": "first"}).ok
+        verdict = guard.check({"a": "x", "b": "second"})
+        assert not verdict.ok
+        assert verdict.violations == (("b", "first"),)
+
+    def test_batchguard_first_match_wins(self):
+        program = Program((_statement_with_colliding_branches(),))
+        guard = BatchGuard(program)
+        verdicts = guard.check_batch(
+            [{"a": "x", "b": "first"}, {"a": "x", "b": "second"}]
+        )
+        assert verdicts[0].ok
+        assert verdicts[1].violations == (("b", "first"),)
+
+
+class TestStateThreading:
+    """RowGuard/BatchGuard must thread writes across statements."""
+
+    @pytest.fixture
+    def chain(self) -> Program:
+        from repro.dsl import parse_program
+
+        return parse_program(
+            """
+            GIVEN a ON b HAVING
+              IF a = 'a1' THEN b <- 'b1';
+            GIVEN b ON c HAVING
+              IF b = 'b1' THEN c <- 'c1';
+              IF b = 'bad' THEN c <- 'c9'
+            """
+        )
+
+    def test_downstream_reads_threaded_value(self, chain):
+        # b is corrupted; statement 1 rewrites it to 'b1', so statement
+        # 2 must judge c against the *threaded* b1 (expect c1), not
+        # against the observed 'bad' (which would expect c9).
+        row = {"a": "a1", "b": "bad", "c": "c1"}
+        for guard in (RowGuard(chain), BatchGuard(chain)):
+            verdict = guard.check(row)
+            assert not verdict.ok
+            assert verdict.violations == (("b", "b1"),)
+
+    def test_threaded_write_can_flag_downstream(self, chain):
+        # The threaded b1 makes statement 2 fire: c must become c1.
+        row = {"a": "a1", "b": "bad", "c": "c9"}
+        for guard in (RowGuard(chain), BatchGuard(chain)):
+            verdict = guard.check(row)
+            assert set(verdict.violations) == {("b", "b1"), ("c", "c1")}
+
+
+class TestBatchGuard:
+    def test_matches_rowguard_on_fixtures(self, city_program, city_relation):
+        row_guard = RowGuard(city_program)
+        batch_guard = BatchGuard(city_program)
+        rows = [city_relation.row(i) for i in range(city_relation.n_rows)]
+        singles = [row_guard.check(r) for r in rows]
+        batched = batch_guard.check_batch(rows)
+        assert [v.ok for v in singles] == [v.ok for v in batched]
+        assert [v.violations for v in singles] == [
+            v.violations for v in batched
+        ]
+
+    def test_stream_micro_batches(self, city_program, city_relation):
+        rows = [city_relation.row(i) for i in range(city_relation.n_rows)]
+        guard = BatchGuard(city_program, batch_size=7)
+        streamed = list(guard.stream(rows))
+        assert len(streamed) == len(rows)
+        assert [v.ok for v in streamed] == [
+            v.ok for v in BatchGuard(city_program).check_batch(rows)
+        ]
+        assert guard.stats.rows_checked == len(rows)
+
+    def test_check_relation_matches_detection(
+        self, city_program, city_relation
+    ):
+        from repro.errors import detect_errors
+
+        mask = BatchGuard(city_program).check_relation(city_relation)
+        expected = detect_errors(city_program, city_relation).row_mask
+        assert (mask == expected).all()
+
+    def test_empty_batch_and_empty_program(self):
+        assert BatchGuard(Program.empty()).check_batch([]) == []
+        assert BatchGuard(Program.empty()).check({"x": 1}).ok
+
+    def test_rejects_bad_batch_size(self, city_program):
+        with pytest.raises(ValueError):
+            BatchGuard(city_program, batch_size=0)
+
+    def test_unseen_values_are_uncovered(self, city_program):
+        guard = BatchGuard(city_program)
+        assert guard.check({"PostalCode": "00000", "City": "Atlantis"}).ok
