@@ -12,6 +12,7 @@ from . import obs
 from .dsl import Program, format_program, parse_program
 from .errors import Strategy, detect_errors, inject_errors
 from .relation import Relation, read_csv, write_csv
+from .resilience import Budget, GuardPolicy
 from .synth import Guardrail, GuardrailConfig, SynthesisResult, synthesize
 
 __version__ = "1.0.0"
@@ -31,5 +32,7 @@ __all__ = [
     "Strategy",
     "detect_errors",
     "inject_errors",
+    "Budget",
+    "GuardPolicy",
     "__version__",
 ]

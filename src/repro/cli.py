@@ -9,10 +9,14 @@ datasets    list the 12 dataset twins, or export one as CSV
 to-sql      program → SQL (audit query / CHECK clauses / UPDATEs)
 experiment  regenerate one or all of the paper's tables/figures
 obs         observability: render a trace file into a report
+chaos       run the fault-injection suite under a degradation policy
 
 ``synthesize``, ``check``, ``rectify``, and ``experiment`` accept
 ``--trace PATH`` to record a structured JSONL trace of the run
-(:mod:`repro.obs`); ``obs report PATH`` renders it.
+(:mod:`repro.obs`); ``obs report PATH`` renders it.  ``synthesize
+--budget SECONDS`` caps synthesis wall-clock (best-so-far partial
+program); ``rectify --guard-policy`` and ``chaos --guard-policy``
+select a :class:`repro.resilience.GuardPolicy` degradation mode.
 """
 
 from __future__ import annotations
@@ -74,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-dags", type=int, default=256,
         help="MEC enumeration cap (default 256)",
     )
+    synth.add_argument(
+        "--budget", type=float, metavar="SECONDS",
+        help="wall-clock budget; exhaustion returns the best-so-far "
+        "partial program instead of running unbounded",
+    )
     synth.add_argument("--seed", type=int, default=0)
 
     check = sub.add_parser(
@@ -101,6 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         choices=["rectify", "coerce", "ignore", "raise"],
         default="rectify",
+    )
+    rectify.add_argument(
+        "--guard-policy",
+        choices=["strict", "warn", "pass_through", "reject"],
+        default="strict",
+        help="degradation mode if handling itself fails: strict raises, "
+        "warn/pass_through write the input unrepaired, reject refuses "
+        "to write (default strict)",
     )
 
     datasets = sub.add_parser(
@@ -163,6 +180,24 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", type=Path, help="trace file written by --trace"
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject every fault class and verify the degradation "
+        "policy holds (repro.resilience.chaos)",
+    )
+    chaos.add_argument(
+        "--guard-policy",
+        choices=["strict", "warn", "pass_through", "reject"],
+        default="warn",
+        help="policy the guarded pipeline degrades under (default warn)",
+    )
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        metavar="NAME",
+        help="run only this fault class (repeatable; default: all)",
+    )
+
     return parser
 
 
@@ -175,7 +210,12 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         max_dags=args.max_dags,
         seed=args.seed,
     )
-    result = synthesize(relation, config)
+    budget = None
+    if args.budget is not None:
+        from .resilience import Budget
+
+        budget = Budget(seconds=args.budget)
+    result = synthesize(relation, config, budget=budget)
     text = format_program(result.program)
     print(
         f"-- {len(result.program)} statements, "
@@ -184,6 +224,13 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         f"{result.n_dags_enumerated} DAGs enumerated",
         file=sys.stderr,
     )
+    if result.partial:
+        notes = "; ".join(result.budget_notes) or "budget exhausted"
+        print(
+            f"-- PARTIAL: best-so-far under a {args.budget}s budget "
+            f"({notes})",
+            file=sys.stderr,
+        )
     if args.output:
         args.output.write_text(text + "\n", encoding="utf-8")
         print(f"program written to {args.output}", file=sys.stderr)
@@ -212,9 +259,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_rectify(args: argparse.Namespace) -> int:
+    from .errors import DataIntegrityError
+    from .resilience import GuardPolicy, resilient_call
+
     program = parse_program(args.program.read_text(encoding="utf-8"))
     relation = read_csv(args.csv)
-    outcome = apply_strategy(program, relation, args.strategy)
+    policy = GuardPolicy.parse(args.guard_policy)
+    outcome = resilient_call(
+        apply_strategy,
+        program,
+        relation,
+        args.strategy,
+        policy=policy,
+        fallback=None,
+        expected=(DataIntegrityError,),
+    )
+    if outcome is None:
+        # Handling itself failed and the policy says degrade.
+        if policy is GuardPolicy.REJECT:
+            print(
+                "error handling failed; refusing to write under the "
+                "reject policy",
+                file=sys.stderr,
+            )
+            return 3
+        if policy is GuardPolicy.WARN:
+            print(
+                "warning: error handling failed; writing the input "
+                "unrepaired",
+                file=sys.stderr,
+            )
+        write_csv(relation, args.output)
+        print(f"0 cells changed (degraded); wrote {args.output}")
+        return 0
     write_csv(outcome.relation, args.output)
     print(
         f"{outcome.n_changed} cells changed "
@@ -317,6 +394,27 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import (
+        FAULT_CLASSES,
+        render_chaos_report,
+        run_chaos_suite,
+    )
+
+    faults = tuple(args.fault) if args.fault else FAULT_CLASSES
+    unknown = [f for f in faults if f not in FAULT_CLASSES]
+    if unknown:
+        print(
+            f"unknown fault class(es): {', '.join(unknown)}; choose "
+            f"from: {', '.join(FAULT_CLASSES)}",
+            file=sys.stderr,
+        )
+        return 2
+    outcomes = run_chaos_suite(args.guard_policy, faults=faults)
+    print(render_chaos_report(outcomes))
+    return 0 if all(o.conformant for o in outcomes) else 1
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "check": _cmd_check,
@@ -325,6 +423,7 @@ _COMMANDS = {
     "to-sql": _cmd_to_sql,
     "experiment": _cmd_experiment,
     "obs": _cmd_obs,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -28,7 +28,10 @@ from .pdag import PDAG, OrientationConflict, cpdag_from_dag
 
 
 def enumerate_mec(
-    cpdag: PDAG, max_dags: int | None = None, verify_leaves: bool = True
+    cpdag: PDAG,
+    max_dags: int | None = None,
+    verify_leaves: bool = True,
+    budget=None,
 ) -> Iterator[DAG]:
     """Yield the DAGs of the Markov equivalence class ``cpdag`` encodes.
 
@@ -43,6 +46,12 @@ def enumerate_mec(
         Recompute the CPDAG of each candidate and compare — the
         definitional membership test.  Disable only for speed when the
         input is known to be a valid CPDAG.
+    budget:
+        Optional :class:`repro.resilience.Budget`, charged one step per
+        search-node expansion.  Exhaustion prunes the remaining search
+        — but only after at least one DAG has been produced, so a
+        budgeted caller is still guaranteed a candidate whenever the
+        class is non-empty.
     """
     produced = 0
 
@@ -50,6 +59,10 @@ def enumerate_mec(
         nonlocal produced
         if max_dags is not None and produced >= max_dags:
             return
+        if budget is not None and produced > 0:
+            budget.spend(1, kind="mec.expansion")
+            if budget.exhausted():
+                return
         undirected = pdag.undirected_edges()
         if not undirected:
             try:

@@ -39,6 +39,7 @@ def learn_cpdag(
     tester: CITester,
     max_condition_size: int | None = None,
     max_degree: int | None = None,
+    budget=None,
 ) -> PCResult:
     """Run PC-stable on the variables of ``tester``.
 
@@ -51,8 +52,15 @@ def learn_cpdag(
     max_degree:
         Optional cap used to skip conditioning sets drawn from very
         high-degree nodes (a standard large-graph safeguard).
+    budget:
+        Optional :class:`repro.resilience.Budget`, charged one step per
+        CI test.  Exhaustion stops edge *removal* early (remaining
+        edges stay — a denser, conservative skeleton) and is recorded
+        in ``PCResult.notes``; orientation still runs on what was
+        learned.
     """
     nodes = tester.names
+    truncated = False
     adjacency: dict[str, set[str]] = {
         n: {m for m in nodes if m != n} for n in nodes
     }
@@ -74,7 +82,18 @@ def learn_cpdag(
             any_candidate = False
             with obs.span("pgm.pc_level", level=level):
                 for x in nodes:
+                    if truncated:
+                        break
                     for y in sorted(frozen[x]):
+                        if budget is not None and budget.exhausted():
+                            truncated = True
+                            pc_note = (
+                                f"pc: stopped at level {level} "
+                                f"({tester.n_queries - queries_before} "
+                                f"CI tests)"
+                            )
+                            budget.note(pc_note)
+                            break
                         if y not in adjacency[x]:
                             continue  # already removed at this level
                         candidates = frozen[x] - {y}
@@ -96,9 +115,10 @@ def learn_cpdag(
                             level,
                             adjacency,
                             separating,
+                            budget,
                         ):
                             continue
-            if not any_candidate:
+            if truncated or not any_candidate:
                 break
             level += 1
 
@@ -110,11 +130,13 @@ def learn_cpdag(
             cpdag.apply_meek_rules()
         n_ci_tests = tester.n_queries - queries_before
         pc_span.set(n_ci_tests=n_ci_tests, levels_run=level)
+    notes = ["budget: " + pc_note] if truncated else []
     return PCResult(
         cpdag=cpdag,
         separating_sets=dict(separating),
         n_ci_tests=n_ci_tests,
         levels_run=level,
+        notes=notes,
     )
 
 
@@ -126,9 +148,14 @@ def _find_separator(
     level: int,
     adjacency: dict[str, set[str]],
     separating: dict[frozenset[str], frozenset[str]],
+    budget=None,
 ) -> bool:
     """Try all |S| = level subsets; on success remove the edge."""
     for subset in combinations(sorted(candidates), level):
+        if budget is not None:
+            budget.spend(1, kind="pc.ci_test")
+            if budget.exhausted():
+                return False
         if tester.independent(x, y, subset):
             adjacency[x].discard(y)
             adjacency[y].discard(x)

@@ -1,7 +1,13 @@
 """Columnar relation substrate (schema, encoding, relation, CSV I/O)."""
 
 from .encoding import MISSING, Codec, CodecError
-from .io import from_csv_text, read_csv, to_csv_text, write_csv
+from .io import (
+    RelationIOError,
+    from_csv_text,
+    read_csv,
+    to_csv_text,
+    write_csv,
+)
 from .relation import Relation, RelationError, Row, apply_aggregate
 from .schema import Attribute, AttributeType, Schema, SchemaError
 
@@ -15,6 +21,7 @@ __all__ = [
     "SchemaError",
     "Relation",
     "RelationError",
+    "RelationIOError",
     "Row",
     "apply_aggregate",
     "read_csv",

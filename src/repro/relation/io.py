@@ -16,6 +16,19 @@ from .relation import Relation, RelationError
 from .schema import AttributeType, Schema
 
 
+class RelationIOError(RelationError):
+    """A malformed CSV payload (ragged/empty rows, unparsable cells).
+
+    Carries the 1-based data ``row`` number of the offending record
+    (``None`` for file-level problems like an empty file), so callers
+    can point users at the exact line.
+    """
+
+    def __init__(self, message: str, row: int | None = None):
+        super().__init__(message)
+        self.row = row
+
+
 def _open_text(path: str | Path | TextIO, mode: str):
     if hasattr(path, "read") or hasattr(path, "write"):
         return path, False
@@ -32,6 +45,10 @@ def read_csv(
     Columns listed in ``numeric`` are parsed as floats (empty cells become
     missing); everything else is categorical.  A full ``schema`` overrides
     ``numeric``.
+
+    Malformed payloads raise :class:`RelationIOError` naming the
+    offending data row: ragged or empty records, and numeric cells that
+    do not parse.
     """
     handle, should_close = _open_text(source, "r")
     try:
@@ -39,22 +56,42 @@ def read_csv(
         try:
             header = next(reader)
         except StopIteration:
-            raise RelationError("CSV file is empty") from None
+            raise RelationIOError("CSV file is empty") from None
+        if not header or all(name == "" for name in header):
+            raise RelationIOError("CSV header row is empty")
         numeric_set = set(numeric)
         if schema is None:
             schema = Schema(
                 _attr(name, name in numeric_set) for name in header
             )
         rows = []
-        for record in reader:
+        for number, record in enumerate(reader, start=1):
+            if not record:
+                raise RelationIOError(
+                    f"row {number} is empty (expected "
+                    f"{len(header)} fields)",
+                    row=number,
+                )
             if len(record) != len(header):
-                raise RelationError(
-                    f"row has {len(record)} fields, expected {len(header)}"
+                raise RelationIOError(
+                    f"row {number} has {len(record)} fields, expected "
+                    f"{len(header)}",
+                    row=number,
                 )
             row = {}
             for name, cell in zip(header, record):
                 if schema[name].is_numeric():
-                    row[name] = float(cell) if cell != "" else None
+                    if cell == "":
+                        row[name] = None
+                    else:
+                        try:
+                            row[name] = float(cell)
+                        except ValueError:
+                            raise RelationIOError(
+                                f"row {number}: column {name!r} expects "
+                                f"a number, got {cell!r}",
+                                row=number,
+                            ) from None
                 else:
                     row[name] = cell if cell != "" else None
             rows.append(row)

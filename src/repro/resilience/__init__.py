@@ -1,0 +1,58 @@
+"""Resilience layer: budgets, degradation policies, chaos injection.
+
+Three pillars keep the pipeline production-safe:
+
+* :mod:`~repro.resilience.budget` — :class:`Budget` objects threaded
+  through synthesis (PC, MEC enumeration, sketch filling, OptSMT) so
+  combinatorial phases stop gracefully at a deadline/step cap and
+  ``synthesize`` returns a best-so-far ``partial`` result;
+* :mod:`~repro.resilience.policy` — :class:`GuardPolicy` degradation
+  modes (strict / warn / pass_through / reject), a
+  :class:`CircuitBreaker` with retry/backoff, and resilient wrappers
+  for the streaming guards;
+* :mod:`~repro.resilience.chaos` — a fault-injection harness proving
+  every fault class yields a policy-conformant outcome.
+"""
+
+from .budget import Budget, BudgetExceeded
+from .chaos import (
+    FAULT_CLASSES,
+    ChaosOutcome,
+    chaos_program,
+    chaos_relation,
+    render_chaos_report,
+    run_chaos_suite,
+    run_fault,
+)
+from .policy import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    DegradationStats,
+    GuardPolicy,
+    GuardUnavailableError,
+    ResilientBatchGuard,
+    ResilientRowGuard,
+    resilient_call,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "GuardPolicy",
+    "GuardUnavailableError",
+    "CircuitOpenError",
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradationStats",
+    "ResilientRowGuard",
+    "ResilientBatchGuard",
+    "resilient_call",
+    "FAULT_CLASSES",
+    "ChaosOutcome",
+    "chaos_relation",
+    "chaos_program",
+    "run_fault",
+    "run_chaos_suite",
+    "render_chaos_report",
+]

@@ -1,0 +1,157 @@
+"""Cooperative budgets for the synthesis pipeline.
+
+MEC enumeration and the OptSMT baseline are combinatorial; PC issues a
+number of CI tests that grows with graph density.  In a deployment
+(Fig. 1) none of these may run unbounded.  A :class:`Budget` is a small
+mutable object threaded through the pipeline: each subsystem *spends*
+steps against it and checks :meth:`Budget.exhausted` at its natural
+unit of work (one CI test, one MEC expansion, one statement fill, one
+branch-and-bound node).  Subsystems stop gracefully — they keep their
+best-so-far output — and :func:`repro.synth.synthesize` surfaces the
+truncation as ``SynthesisResult.partial``.
+
+Because checks happen *between* units of work, the wall-clock overshoot
+past the deadline is bounded by the cost of one unit, which keeps a
+budgeted run within a small constant factor of its deadline.
+
+    budget = Budget(seconds=2.0, max_steps=100_000)
+    result = synthesize(relation, config, budget=budget)
+    result.partial          # True iff the budget cut anything short
+    budget.notes            # which phases were truncated, and where
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .. import obs
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised by :meth:`Budget.check` when the budget is exhausted.
+
+    Subsystems that can return a best-so-far result prefer the
+    non-raising :meth:`Budget.exhausted`; this exception is for callers
+    that need a hard stop (e.g. the OptSMT branch-and-bound).
+    """
+
+    def __init__(self, message: str, reason: str = "budget"):
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass
+class Budget:
+    """A wall-clock deadline plus a step cap, spent cooperatively.
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock allowance from the first :meth:`start` (implicit on
+        first use); ``None`` means no deadline.
+    max_steps:
+        Total step allowance across every subsystem that charges this
+        budget; ``None`` means uncapped.  One *step* is one natural unit
+        of pipeline work (a CI test, a MEC node expansion, a statement
+        fill, a search node).
+
+    A ``Budget`` is single-use: it keeps its own clock and counters, so
+    share one instance across the phases of one run, not across runs.
+    """
+
+    seconds: float | None = None
+    max_steps: int | None = None
+    steps: int = 0
+    notes: list[str] = field(default_factory=list)
+    _started_at: float | None = field(default=None, repr=False)
+    _spent_by_kind: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Start the wall clock (idempotent; implicit on first spend)."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    @property
+    def started(self) -> bool:
+        """Has the wall clock started?"""
+        return self._started_at is not None
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 before the clock starts)."""
+        if self._started_at is None:
+            return 0.0
+        return time.perf_counter() - self._started_at
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds left before the deadline (None without a deadline)."""
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed())
+
+    # ------------------------------------------------------------------
+
+    def spend(self, steps: int = 1, kind: str | None = None) -> None:
+        """Charge ``steps`` units of work (starts the clock if needed)."""
+        self.start()
+        self.steps += steps
+        if kind is not None:
+            self._spent_by_kind[kind] = (
+                self._spent_by_kind.get(kind, 0) + steps
+            )
+
+    @property
+    def spent_by_kind(self) -> dict[str, int]:
+        """Steps charged so far, broken down by ``spend(kind=...)``."""
+        return dict(self._spent_by_kind)
+
+    def exhausted(self) -> bool:
+        """Is either limit spent?  (The graceful-stop check.)"""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return True
+        if self.seconds is not None:
+            self.start()
+            if self.elapsed() >= self.seconds:
+                return True
+        return False
+
+    def exhaustion_reason(self) -> str | None:
+        """Which limit ran out (``"steps"`` / ``"deadline"``), or None."""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return "steps"
+        if self.seconds is not None and self.elapsed() >= self.seconds:
+            return "deadline"
+        return None
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`BudgetExceeded` if the budget is exhausted."""
+        reason = self.exhaustion_reason() if self.exhausted() else None
+        if reason is None:
+            return
+        suffix = f" in {where}" if where else ""
+        raise BudgetExceeded(
+            f"budget exhausted ({reason}, {self.steps} steps, "
+            f"{self.elapsed():.3f}s elapsed){suffix}",
+            reason=reason,
+        )
+
+    def note(self, message: str) -> None:
+        """Record that a phase was truncated (shows up on the result)."""
+        self.notes.append(message)
+        if obs.enabled():
+            obs.count("resilience.budget.truncation")
+            obs.record("resilience.budget", note=message, steps=self.steps)
+
+    @property
+    def truncated(self) -> bool:
+        """Did any subsystem report a budget truncation?"""
+        return bool(self.notes)

@@ -1,0 +1,444 @@
+"""Chaos-injection harness: prove degradation policies hold under fire.
+
+TorchQL-style integrity checking has to survive messy real inputs; this
+module makes that an executable claim.  Each *fault class* injects one
+production failure mode into a guarded pipeline — a guard that raises,
+a guard that stalls, a model that throws, values the codecs never saw,
+malformed and ragged rows, mid-stream schema drift — and the harness
+verifies the outcome is exactly what the configured
+:class:`~repro.resilience.GuardPolicy` dictates: ``strict`` fails the
+query with a typed error, ``warn``/``pass_through`` complete with rows
+flowing unvetted (and the degradation recorded), ``reject`` completes
+with the affected rows withheld.  No fault class may ever surface as an
+unhandled exception.
+
+    outcomes = run_chaos_suite(policy="warn")
+    assert all(o.conformant for o in outcomes)
+    print(render_chaos_report(outcomes))
+
+The harness is self-contained (synthetic data, a hand-built program, a
+stub model), so it runs in milliseconds and can gate CI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..dsl import Branch, Condition, Program, Statement
+from ..relation import Relation
+from .policy import (
+    CircuitBreaker,
+    GuardPolicy,
+    GuardUnavailableError,
+    ResilientBatchGuard,
+    ResilientRowGuard,
+)
+
+FAULT_CLASSES = (
+    "raising_guard",
+    "slow_guard",
+    "model_exception",
+    "codec_unseen",
+    "malformed_rows",
+    "schema_drift",
+)
+"""Every fault class the harness can inject, in suite order."""
+
+
+@dataclass
+class ChaosOutcome:
+    """Verdict on one injected fault: did the policy hold?"""
+
+    fault: str
+    policy: GuardPolicy
+    conformant: bool
+    detail: str
+
+
+# ---------------------------------------------------------------------------
+# Fixture: a tiny guarded ML-SQL pipeline
+# ---------------------------------------------------------------------------
+
+_CITY_OF = {
+    "94704": "Berkeley",
+    "94720": "Berkeley",
+    "10001": "NewYork",
+    "73301": "Austin",
+}
+_STATE_OF = {"Berkeley": "CA", "NewYork": "NY", "Austin": "TX"}
+
+
+def chaos_relation(copies: int = 8) -> Relation:
+    """A clean PostalCode → City → State relation for the harness."""
+    rows = []
+    for postal, city in _CITY_OF.items():
+        for _ in range(copies):
+            rows.append(
+                {
+                    "PostalCode": postal,
+                    "City": city,
+                    "State": _STATE_OF[city],
+                }
+            )
+    return Relation.from_rows(rows)
+
+
+def chaos_program() -> Program:
+    """The ground-truth constraints of :func:`chaos_relation`."""
+
+    def statement(det: str, dep: str, table: dict) -> Statement:
+        return Statement(
+            (det,),
+            dep,
+            tuple(
+                Branch(Condition.of(**{det: key}), dep, value)
+                for key, value in table.items()
+            ),
+        )
+
+    return Program(
+        (
+            statement("PostalCode", "City", _CITY_OF),
+            statement("City", "State", _STATE_OF),
+        )
+    )
+
+
+class _StubModel:
+    """A model the executor can call: predicts the City column."""
+
+    def predict_values(self, relation: Relation) -> list[object]:
+        return list(relation.column_values("City"))
+
+
+class _ExplodingModel:
+    """A model that dies on every inference call."""
+
+    def predict_values(self, relation: Relation) -> list[object]:
+        raise RuntimeError("chaos: model backend unavailable")
+
+
+class _ExplodingGuardrail:
+    """A guardrail whose handle() raises (e.g. a poisoned program)."""
+
+    def handle(self, relation, strategy):
+        raise RuntimeError("chaos: guard crashed mid-query")
+
+
+class _SlowGuardrail:
+    """A guardrail that stalls past the executor's watchdog."""
+
+    def __init__(self, inner, delay: float):
+        self._inner = inner
+        self.delay = delay
+
+    def handle(self, relation, strategy):
+        time.sleep(self.delay)
+        return self._inner.handle(relation, strategy)
+
+
+_QUERY = "SELECT PREDICT(m) AS p, COUNT(*) AS n FROM t GROUP BY p"
+
+
+def _run_sql(
+    guardrail,
+    model,
+    relation: Relation,
+    policy: GuardPolicy,
+    guard_timeout_seconds: float | None = None,
+):
+    """Execute the probe query; return (result | None, error | None,
+    metrics)."""
+    # Imported lazily: the executor itself depends on repro.resilience
+    # (degradation policies), and chaos is the one module that closes
+    # the loop in the other direction.
+    from ..sql.executor import QueryExecutor
+
+    executor = QueryExecutor(
+        {"t": relation},
+        {"m": model},
+        guardrail=guardrail,
+        strategy="rectify",
+        policy=policy,
+        guard_timeout_seconds=guard_timeout_seconds,
+    )
+    try:
+        result = executor.execute(_QUERY)
+    except Exception as error:  # noqa: BLE001 - the harness judges it
+        return None, error, executor.last_metrics
+    return result, None, executor.last_metrics
+
+
+def _judge_sql(
+    policy: GuardPolicy, result, error, metrics, n_rows: int
+) -> tuple[bool, str]:
+    """Is a degraded SQL run's outcome what the policy dictates?"""
+    from ..sql.executor import SqlRuntimeError
+
+    if policy is GuardPolicy.STRICT:
+        if isinstance(error, SqlRuntimeError):
+            return True, f"failed closed: {error}"
+        return False, f"expected SqlRuntimeError, got {error!r}"
+    if error is not None:
+        return False, f"unhandled {type(error).__name__}: {error}"
+    returned = sum(result.column("n")) if result.rows else 0
+    if policy is GuardPolicy.REJECT:
+        if returned == 0 and metrics.rows_rejected > 0:
+            return True, f"rejected {metrics.rows_rejected} rows"
+        return False, f"expected 0 rows, got {returned}"
+    if not metrics.degraded:
+        return False, "degradation not recorded in metrics"
+    if returned != n_rows:
+        return False, f"expected {n_rows} rows to flow, got {returned}"
+    return True, (
+        f"failed open: {returned} rows flowed, "
+        f"{len(metrics.degradations)} degradation(s) recorded"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault classes
+# ---------------------------------------------------------------------------
+
+
+def _fault_raising_guard(policy: GuardPolicy) -> ChaosOutcome:
+    relation = chaos_relation()
+    result, error, metrics = _run_sql(
+        _ExplodingGuardrail(), _StubModel(), relation, policy
+    )
+    ok, detail = _judge_sql(policy, result, error, metrics, relation.n_rows)
+    return ChaosOutcome("raising_guard", policy, ok, detail)
+
+
+def _fault_slow_guard(policy: GuardPolicy) -> ChaosOutcome:
+    from ..synth import Guardrail
+
+    relation = chaos_relation()
+    guardrail = _SlowGuardrail(
+        Guardrail.from_program(chaos_program()), delay=0.02
+    )
+    result, error, metrics = _run_sql(
+        guardrail,
+        _StubModel(),
+        relation,
+        policy,
+        guard_timeout_seconds=0.001,
+    )
+    ok, detail = _judge_sql(policy, result, error, metrics, relation.n_rows)
+    return ChaosOutcome("slow_guard", policy, ok, detail)
+
+
+def _fault_model_exception(policy: GuardPolicy) -> ChaosOutcome:
+    from ..synth import Guardrail
+
+    relation = chaos_relation()
+    guardrail = Guardrail.from_program(chaos_program())
+    result, error, metrics = _run_sql(
+        guardrail, _ExplodingModel(), relation, policy
+    )
+    ok, detail = _judge_sql(policy, result, error, metrics, relation.n_rows)
+    return ChaosOutcome("model_exception", policy, ok, detail)
+
+
+def _fault_codec_unseen(policy: GuardPolicy) -> ChaosOutcome:
+    """Values the program's codecs never saw must not crash the guard."""
+    from ..synth import Guardrail
+
+    relation = chaos_relation()
+    relation = relation.set_cell(0, "City", "Atlantis")
+    relation = relation.set_cell(1, "State", "ZZ")
+    relation = relation.set_cell(2, "PostalCode", "00000")
+    guardrail = Guardrail.from_program(chaos_program())
+    result, error, metrics = _run_sql(
+        guardrail, _StubModel(), relation, policy
+    )
+    if error is not None:
+        return ChaosOutcome(
+            "codec_unseen",
+            policy,
+            False,
+            f"unhandled {type(error).__name__}: {error}",
+        )
+    if metrics.degraded:
+        return ChaosOutcome(
+            "codec_unseen", policy, False, "unseen values degraded the guard"
+        )
+    return ChaosOutcome(
+        "codec_unseen",
+        policy,
+        True,
+        f"handled natively: {metrics.rows_flagged} rows flagged, "
+        f"{metrics.rows_rectified} cells rectified",
+    )
+
+
+_MALFORMED_ROWS: list = [
+    {"PostalCode": "94704", "City": "Berkeley", "State": "CA"},  # clean
+    ["94704", "Berkeley", "CA"],  # non-mapping
+    None,  # not even a row
+    {"PostalCode": "10001"},  # ragged: missing attributes
+    {"PostalCode": "10001", "City": None, "State": None},  # None cells
+    {"PostalCode": "73301", "City": "Austin", "State": "TX", "x": 1},  # extra
+    42,  # scalar garbage
+]
+_MALFORMED_BAD = {1, 2, 6}  # indexes the bare guards cannot vet
+
+
+def _stream_guards(policy: GuardPolicy):
+    from ..synth import Guardrail
+
+    guardrail = Guardrail.from_program(chaos_program())
+    # Generous breaker: the point here is per-row degradation, not
+    # tripping the circuit (the breaker has its own unit tests).
+    row = ResilientRowGuard(
+        guardrail.row_guard(),
+        policy=policy,
+        breaker=CircuitBreaker(failure_threshold=10_000, max_retries=0),
+    )
+    batch = ResilientBatchGuard(
+        guardrail.batch_guard(batch_size=4),
+        policy=policy,
+        breaker=CircuitBreaker(failure_threshold=10_000, max_retries=0),
+    )
+    return row, batch
+
+
+def _judge_stream(
+    fault: str,
+    policy: GuardPolicy,
+    rows: list,
+    bad: set[int],
+) -> ChaosOutcome:
+    """Stream ``rows`` through both resilient guards; check the policy.
+
+    ``bad`` marks the indexes the bare guards cannot vet; those must
+    raise under ``strict`` and take the policy verdict otherwise, and
+    the row/batch wrappers must agree row for row.
+    """
+    row_guard, batch_guard = _stream_guards(policy)
+    if policy is GuardPolicy.STRICT and bad:
+        try:
+            list(row_guard.stream(rows))
+        except GuardUnavailableError as error:
+            return ChaosOutcome(
+                fault, policy, True, f"failed closed: {error}"
+            )
+        except Exception as error:  # noqa: BLE001
+            return ChaosOutcome(
+                fault,
+                policy,
+                False,
+                f"wrong error type {type(error).__name__}: {error}",
+            )
+        return ChaosOutcome(
+            fault, policy, False, "strict policy swallowed the fault"
+        )
+    try:
+        row_verdicts = list(row_guard.stream(rows))
+        batch_verdicts = list(batch_guard.stream(rows))
+    except Exception as error:  # noqa: BLE001
+        return ChaosOutcome(
+            fault, policy, False, f"unhandled {type(error).__name__}: {error}"
+        )
+    if len(row_verdicts) != len(rows) or len(batch_verdicts) != len(rows):
+        return ChaosOutcome(
+            fault, policy, False, "a row was dropped without a verdict"
+        )
+    for index, (rv, bv) in enumerate(zip(row_verdicts, batch_verdicts)):
+        if rv.ok != bv.ok:
+            return ChaosOutcome(
+                fault,
+                policy,
+                False,
+                f"row/batch verdicts diverge at row {index}: "
+                f"{rv.ok} vs {bv.ok}",
+            )
+        if index in bad:
+            expected_ok = policy is not GuardPolicy.REJECT
+            if rv.ok != expected_ok:
+                return ChaosOutcome(
+                    fault,
+                    policy,
+                    False,
+                    f"malformed row {index} got ok={rv.ok}, policy "
+                    f"{policy.value} dictates ok={expected_ok}",
+                )
+    degraded = row_guard.stats.degraded_verdicts
+    return ChaosOutcome(
+        fault,
+        policy,
+        True,
+        f"{len(rows)} verdicts, {degraded} degraded per policy, "
+        f"row/batch agree",
+    )
+
+
+def _fault_malformed_rows(policy: GuardPolicy) -> ChaosOutcome:
+    return _judge_stream(
+        "malformed_rows", policy, list(_MALFORMED_ROWS), set(_MALFORMED_BAD)
+    )
+
+
+def _fault_schema_drift(policy: GuardPolicy) -> ChaosOutcome:
+    """Mid-stream, the upstream producer renames/narrows its columns.
+
+    Missing attributes behave like missing (None) cells in the
+    canonical semantics, so drift is vetted natively — no degradation,
+    but every row still gets a verdict and row/batch still agree.
+    """
+    drifted: list = [
+        {"PostalCode": "94704", "City": "Berkeley", "State": "CA"},
+        {"PostalCode": "94720", "City": "Berkeley", "State": "CA"},
+        # v2 of the producer: renamed columns
+        {"postal_code": "94704", "city_name": "Berkeley"},
+        {"postal_code": "10001", "city_name": "NewYork"},
+        # v3: narrowed payload
+        {"PostalCode": "73301"},
+    ]
+    return _judge_stream("schema_drift", policy, drifted, set())
+
+
+_FAULTS = {
+    "raising_guard": _fault_raising_guard,
+    "slow_guard": _fault_slow_guard,
+    "model_exception": _fault_model_exception,
+    "codec_unseen": _fault_codec_unseen,
+    "malformed_rows": _fault_malformed_rows,
+    "schema_drift": _fault_schema_drift,
+}
+
+
+def run_fault(fault: str, policy: "GuardPolicy | str") -> ChaosOutcome:
+    """Inject one fault class under one policy; judge the outcome."""
+    if fault not in _FAULTS:
+        raise ValueError(
+            f"unknown fault class {fault!r}; choose from "
+            + ", ".join(FAULT_CLASSES)
+        )
+    return _FAULTS[fault](GuardPolicy.parse(policy))
+
+
+def run_chaos_suite(
+    policy: "GuardPolicy | str" = GuardPolicy.WARN,
+    faults: tuple[str, ...] = FAULT_CLASSES,
+) -> list[ChaosOutcome]:
+    """Inject every fault class under ``policy``; return the verdicts."""
+    return [run_fault(fault, policy) for fault in faults]
+
+
+def render_chaos_report(outcomes: list[ChaosOutcome]) -> str:
+    """Plain-text table of chaos outcomes (the CLI's output)."""
+    width = max(len(o.fault) for o in outcomes)
+    lines = [
+        f"chaos suite under policy "
+        f"{outcomes[0].policy.value if outcomes else '?'}:"
+    ]
+    for outcome in outcomes:
+        mark = "PASS" if outcome.conformant else "FAIL"
+        lines.append(
+            f"  {mark}  {outcome.fault.ljust(width)}  {outcome.detail}"
+        )
+    conformant = sum(o.conformant for o in outcomes)
+    lines.append(f"{conformant}/{len(outcomes)} fault classes conformant")
+    return "\n".join(lines)

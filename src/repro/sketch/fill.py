@@ -136,16 +136,23 @@ def fill_program_sketch(
     min_support: int = 1,
     cache: FillCache | None = None,
     stats: FillStats | None = None,
+    budget=None,
 ) -> Program:
     """Concretize a whole program sketch (Alg. 1, main loop).
 
     Statement sketches that concretize to ⊥ are dropped; the rest keep
     the sketch's order.
+
+    With a :class:`repro.resilience.Budget`, one step is charged per
+    statement fill (cache hits are free) and exhaustion stops the loop:
+    the statements concretized so far still form a valid program.
     """
     traced = obs.enabled()
     statements: list[Statement] = []
     with obs.span("sketch.fill_program", sketch_size=len(sketch)):
         for statement_sketch in sketch:
+            if budget is not None and budget.exhausted():
+                break
             if cache is not None:
                 hit = cache.get(statement_sketch)
                 if hit is not _MISS:
@@ -158,6 +165,8 @@ def fill_program_sketch(
                     continue
             if traced:
                 obs.count("sketch.fill.cache_miss")
+            if budget is not None:
+                budget.spend(1, kind="sketch.fill")
             filled = fill_statement_sketch(
                 statement_sketch,
                 relation,

@@ -18,7 +18,9 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from .. import obs
+from ..errors.handle import DataIntegrityError
 from ..relation import Relation
+from ..resilience.policy import CircuitBreaker, GuardPolicy
 from .ast import (
     AGGREGATE_FUNCTIONS,
     BinaryOp,
@@ -341,7 +343,9 @@ def _render(value: object) -> str:
 
 @dataclass
 class ExecutionMetrics:
-    """Timing breakdown per executed query (Table 6)."""
+    """Timing breakdown per executed query (Table 6), plus resilience
+    bookkeeping: stage failures absorbed by the degradation policy, the
+    rows it withheld, and a human-readable note per degradation."""
 
     guard_seconds: float = 0.0
     inference_seconds: float = 0.0
@@ -350,6 +354,11 @@ class ExecutionMetrics:
     rows_predicted: int = 0
     rows_flagged: int = 0
     rows_rectified: int = 0
+    guard_failures: int = 0
+    model_failures: int = 0
+    rows_rejected: int = 0
+    degraded: bool = False
+    degradations: list[str] = field(default_factory=list)
 
 
 class QueryExecutor:
@@ -368,6 +377,22 @@ class QueryExecutor:
     strategy:
         Error-handling strategy the guard applies (``raise`` / ``ignore``
         / ``coerce`` / ``rectify``).
+    policy:
+        :class:`~repro.resilience.GuardPolicy` governing what happens
+        when the guard or a model *fails* mid-query (raises, or the
+        circuit is open).  ``strict`` (default) re-raises as
+        :class:`SqlRuntimeError`; ``warn``/``pass_through`` let rows
+        flow unvetted (recorded in :class:`ExecutionMetrics`);
+        ``reject`` withholds the affected rows and completes the query
+        over what remains.  Intended outcomes — the ``raise`` strategy's
+        :class:`~repro.errors.DataIntegrityError`, malformed-query
+        :class:`SqlRuntimeError` — always propagate regardless.
+    guard_breaker / model_breaker:
+        Circuit breakers for the two fallible stages (defaults: trip
+        after 3 consecutive failures, no in-process retry).
+    guard_timeout_seconds:
+        Post-hoc watchdog on the guard stage: a slower run counts as a
+        breaker failure and degrades per policy.
     """
 
     def __init__(
@@ -376,11 +401,19 @@ class QueryExecutor:
         models: Mapping[str, object] | None = None,
         guardrail=None,
         strategy: str = "rectify",
+        policy: "GuardPolicy | str" = GuardPolicy.STRICT,
+        guard_breaker: CircuitBreaker | None = None,
+        model_breaker: CircuitBreaker | None = None,
+        guard_timeout_seconds: float | None = None,
     ):
         self.catalog = dict(catalog)
         self.models = dict(models or {})
         self.guardrail = guardrail
         self.strategy = strategy
+        self.policy = GuardPolicy.parse(policy)
+        self.guard_breaker = guard_breaker or CircuitBreaker(max_retries=0)
+        self.model_breaker = model_breaker or CircuitBreaker(max_retries=0)
+        self.guard_timeout_seconds = guard_timeout_seconds
         self.last_metrics = ExecutionMetrics()
         self.last_plan: Plan | None = None
 
@@ -412,6 +445,9 @@ class QueryExecutor:
             if item.alias is not None
         }
 
+        # Published even when a stage raises (strict policy, query
+        # errors), so callers can still read the failure counters.
+        self.last_metrics = metrics
         for stage in plan.stages:
             if isinstance(stage, Scan):
                 relation = self._scan(stage.table)
@@ -431,16 +467,9 @@ class QueryExecutor:
                 with obs.span(
                     "sql.guard", strategy=str(stage.strategy)
                 ) as guard_span:
-                    outcome = self.guardrail.handle(
-                        relation, stage.strategy
+                    relation = self._guard_stage(
+                        stage, relation, extras, metrics, guard_span
                     )
-                    guard_span.set(
-                        rows_flagged=outcome.detection.n_flagged_rows,
-                        rows_rectified=outcome.n_changed,
-                    )
-                relation = outcome.relation
-                metrics.rows_flagged = outcome.detection.n_flagged_rows
-                metrics.rows_rectified = outcome.n_changed
                 metrics.guard_seconds += time.perf_counter() - tick
             elif isinstance(stage, PredictStage):
                 assert relation is not None
@@ -448,13 +477,9 @@ class QueryExecutor:
                 with obs.span(
                     "sql.predict", n_rows=relation.n_rows
                 ):
-                    for node in stage.predicts:
-                        extras[_predict_key(node)] = self._predict(
-                            node, relation
-                        )
-                metrics.rows_predicted = relation.n_rows * len(
-                    stage.predicts
-                )
+                    relation = self._predict_stage(
+                        stage, relation, extras, metrics
+                    )
                 metrics.inference_seconds += time.perf_counter() - tick
             elif isinstance(stage, Aggregate):
                 assert relation is not None
@@ -482,6 +507,8 @@ class QueryExecutor:
                 rows_predicted=metrics.rows_predicted,
                 rows_flagged=metrics.rows_flagged,
                 rows_rectified=metrics.rows_rectified,
+                degraded=metrics.degraded,
+                rows_rejected=metrics.rows_rejected,
             )
         if result is None:
             raise SqlRuntimeError("plan produced no output stage")
@@ -494,6 +521,146 @@ class QueryExecutor:
             return self.catalog[table]
         except KeyError:
             raise SqlRuntimeError(f"unknown table {table!r}") from None
+
+    def _guard_stage(
+        self,
+        stage: Guard,
+        relation: Relation,
+        extras: dict[str, np.ndarray],
+        metrics: ExecutionMetrics,
+        guard_span,
+    ) -> Relation:
+        """Run the guard under the breaker + degradation policy.
+
+        A :class:`~repro.errors.DataIntegrityError` from the ``raise``
+        strategy is the guard *working*, not failing, and propagates
+        untouched; any other exception (or an open circuit, or a
+        watchdog-slow run) degrades per :attr:`policy`.
+        """
+        start = time.perf_counter()
+        try:
+            outcome = self.guard_breaker.call(
+                self.guardrail.handle,
+                relation,
+                stage.strategy,
+                expected=(DataIntegrityError,),
+            )
+        except DataIntegrityError:
+            raise
+        except Exception as error:
+            metrics.guard_failures += 1
+            return self._degrade("guard", error, relation, extras, metrics)
+        elapsed = time.perf_counter() - start
+        slow = (
+            self.guard_timeout_seconds is not None
+            and elapsed > self.guard_timeout_seconds
+        )
+        if slow:
+            # Post-hoc watchdog: the outcome exists, but the stall is a
+            # breaker failure; fail-closed policies discard the late
+            # result, fail-open ones use it and record the degradation.
+            self.guard_breaker.record_failure()
+            metrics.guard_failures += 1
+            if obs.enabled():
+                obs.count("sql.resilience.guard_slow")
+            if self.policy is GuardPolicy.STRICT:
+                raise SqlRuntimeError(
+                    f"guard stage exceeded its "
+                    f"{self.guard_timeout_seconds}s deadline "
+                    f"({elapsed:.3f}s) under strict policy"
+                )
+            if self.policy is GuardPolicy.REJECT:
+                return self._degrade(
+                    "guard",
+                    TimeoutError(f"guard took {elapsed:.3f}s"),
+                    relation,
+                    extras,
+                    metrics,
+                )
+            metrics.degraded = True
+            metrics.degradations.append(
+                f"guard: slow ({elapsed:.3f}s > "
+                f"{self.guard_timeout_seconds}s)"
+            )
+        guard_span.set(
+            rows_flagged=outcome.detection.n_flagged_rows,
+            rows_rectified=outcome.n_changed,
+        )
+        metrics.rows_flagged = outcome.detection.n_flagged_rows
+        metrics.rows_rectified = outcome.n_changed
+        return outcome.relation
+
+    def _predict_stage(
+        self,
+        stage: PredictStage,
+        relation: Relation,
+        extras: dict[str, np.ndarray],
+        metrics: ExecutionMetrics,
+    ) -> Relation:
+        """Materialize prediction columns under the degradation policy.
+
+        Query errors (unknown model/columns → :class:`SqlRuntimeError`)
+        always raise; a model *fault* degrades per :attr:`policy`, with
+        fail-open policies materializing an all-``None`` column.
+        """
+        for node in stage.predicts:
+            try:
+                column = self.model_breaker.call(
+                    self._predict,
+                    node,
+                    relation,
+                    expected=(SqlRuntimeError,),
+                )
+            except SqlRuntimeError:
+                raise
+            except Exception as error:
+                metrics.model_failures += 1
+                relation = self._degrade(
+                    "model", error, relation, extras, metrics
+                )
+                column = np.full(relation.n_rows, None, dtype=object)
+            extras[_predict_key(node)] = column
+        metrics.rows_predicted = relation.n_rows * len(stage.predicts)
+        return relation
+
+    def _degrade(
+        self,
+        stage_name: str,
+        error: BaseException,
+        relation: Relation,
+        extras: dict[str, np.ndarray],
+        metrics: ExecutionMetrics,
+    ) -> Relation:
+        """Apply the degradation policy after a stage failure.
+
+        ``strict`` raises; ``reject`` withholds the stage's rows (the
+        query completes empty); ``warn``/``pass_through`` return the
+        relation untouched so rows flow unvetted.  Every path records
+        the event on the metrics and the obs counters.
+        """
+        note = f"{stage_name}: {type(error).__name__}: {error}"
+        metrics.degradations.append(note)
+        if obs.enabled():
+            obs.count(f"sql.resilience.{stage_name}_failure")
+            obs.record(
+                "sql.degraded",
+                stage=stage_name,
+                policy=self.policy.value,
+                error=type(error).__name__,
+            )
+        if self.policy is GuardPolicy.STRICT:
+            raise SqlRuntimeError(
+                f"{stage_name} stage failed under strict policy: {error}"
+            ) from error
+        metrics.degraded = True
+        if self.policy is GuardPolicy.REJECT:
+            metrics.rows_rejected += relation.n_rows
+            for key in list(extras):
+                extras[key] = extras[key][:0]
+            return relation.filter(
+                np.zeros(relation.n_rows, dtype=bool)
+            )
+        return relation
 
     def _predict(self, node: Predict, relation: Relation) -> np.ndarray:
         model = self.models.get(node.model)

@@ -10,6 +10,7 @@ from .optsmt import (
 )
 from .synthesizer import (
     Guardrail,
+    GuardrailLoadError,
     SynthesisResult,
     enumerate_candidate_dags,
     synthesize,
@@ -18,6 +19,7 @@ from .synthesizer import (
 __all__ = [
     "Guardrail",
     "GuardrailConfig",
+    "GuardrailLoadError",
     "SynthesisResult",
     "synthesize",
     "enumerate_candidate_dags",

@@ -96,6 +96,11 @@ class OptSmtSynthesizer:
         Abort immediately (without search) if the encoding would exceed
         this many soft clauses — mirrors the solver capacity limits the
         paper reports.
+    budget:
+        Optional :class:`repro.resilience.Budget` shared with the rest
+        of a pipeline run; its remaining wall-clock (and step cap,
+        charged per search node) tightens ``time_limit``, and
+        exhaustion reports ``timed_out=True`` like a deadline would.
     """
 
     epsilon: float = 0.01
@@ -103,12 +108,19 @@ class OptSmtSynthesizer:
     time_limit: float = 10.0
     max_clauses: int | None = None
     min_support: int = 1
+    budget: object | None = None
     _deadline: float = field(default=0.0, repr=False)
 
     def solve(self, relation: Relation) -> OptSmtOutcome:
         """Run the OptSMT encoding on ``relation``; return the outcome."""
         start = time.perf_counter()
-        self._deadline = start + self.time_limit
+        limit = self.time_limit
+        if self.budget is not None:
+            self.budget.start()
+            remaining = self.budget.remaining_seconds()
+            if remaining is not None:
+                limit = min(limit, remaining)
+        self._deadline = start + limit
         n_clauses = estimate_clause_count(relation, self.max_determinants)
         if self.max_clauses is not None and n_clauses > self.max_clauses:
             raise SolverBudgetExceeded(
@@ -130,6 +142,11 @@ class OptSmtSynthesizer:
             if time.perf_counter() > self._deadline:
                 timed_out = True
                 break
+            if self.budget is not None:
+                self.budget.spend(1, kind="optsmt.ground")
+                if self.budget.exhausted():
+                    timed_out = True
+                    break
             n_candidates += 1
             statement = fill_statement_sketch(
                 sketch, relation, self.epsilon, min_support=self.min_support
@@ -170,8 +187,13 @@ class OptSmtSynthesizer:
     ) -> None:
         """Branch over per-dependent sketch choice under acyclicity."""
         best["nodes"] += 1
-        if best["nodes"] % 256 == 0 and time.perf_counter() > self._deadline:
-            raise SolverBudgetExceeded("time budget exhausted")
+        if best["nodes"] % 256 == 0:
+            if time.perf_counter() > self._deadline:
+                raise SolverBudgetExceeded("time budget exhausted")
+            if self.budget is not None:
+                self.budget.spend(256, kind="optsmt.node")
+                if self.budget.exhausted():
+                    raise SolverBudgetExceeded("shared budget exhausted")
         if index == len(attributes):
             if chosen:
                 coverage = sum(c for _, c in chosen) / len(chosen)

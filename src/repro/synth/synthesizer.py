@@ -26,6 +26,10 @@ from ..sketch import FillCache, FillStats, ProgramSketch, SketchJudge, fill_prog
 from .config import GuardrailConfig
 
 
+class GuardrailLoadError(ValueError):
+    """Raised by :meth:`Guardrail.load` on a missing/corrupt payload."""
+
+
 @dataclass
 class SynthesisResult:
     """The synthesized program plus everything the evaluation reports."""
@@ -37,6 +41,11 @@ class SynthesisResult:
     n_dags_enumerated: int
     fill_stats: FillStats
     timings: dict[str, float] = field(default_factory=dict)
+    partial: bool = False
+    """True when a :class:`repro.resilience.Budget` cut a phase short;
+    the program is the best found within the budget, not the optimum."""
+    budget_notes: tuple[str, ...] = ()
+    """Which phases were truncated and where (empty when complete)."""
 
     @property
     def total_time(self) -> float:
@@ -44,7 +53,9 @@ class SynthesisResult:
         return sum(self.timings.values())
 
 
-def enumerate_candidate_dags(cpdag, max_dags: int | None = None):
+def enumerate_candidate_dags(
+    cpdag, max_dags: int | None = None, budget=None
+):
     """DAG candidates entailed by a (possibly noisy) learned pattern.
 
     Yields the consistent extensions of the pattern; when the pattern
@@ -55,7 +66,9 @@ def enumerate_candidate_dags(cpdag, max_dags: int | None = None):
     from ..pgm import PDAG
 
     produced = 0
-    for dag in enumerate_mec(cpdag, max_dags=max_dags, verify_leaves=False):
+    for dag in enumerate_mec(
+        cpdag, max_dags=max_dags, verify_leaves=False, budget=budget
+    ):
         produced += 1
         yield dag
     if produced == 0 and cpdag.skeleton():
@@ -64,7 +77,7 @@ def enumerate_candidate_dags(cpdag, max_dags: int | None = None):
             undirected=(tuple(sorted(e)) for e in cpdag.skeleton()),
         )
         for dag in enumerate_mec(
-            skeleton, max_dags=max_dags, verify_leaves=False
+            skeleton, max_dags=max_dags, verify_leaves=False, budget=budget
         ):
             produced += 1
             yield dag
@@ -83,7 +96,9 @@ def enumerate_candidate_dags(cpdag, max_dags: int | None = None):
 
 
 def synthesize(
-    relation: Relation, config: GuardrailConfig | None = None
+    relation: Relation,
+    config: GuardrailConfig | None = None,
+    budget=None,
 ) -> SynthesisResult:
     """Synthesize the optimal ε-valid program for a dataset (Alg. 2).
 
@@ -91,26 +106,36 @@ def synthesize(
     the program sketch each DAG entails, concretizes it with Algorithm 1
     (sharing a statement-level fill cache across DAGs), and returns the
     program with the highest coverage.
+
+    With a :class:`repro.resilience.Budget`, every combinatorial phase
+    (PC's CI tests, MEC enumeration, sketch filling) spends against it
+    and stops gracefully on exhaustion; the result is then the best
+    program found so far, flagged ``partial=True``.  The first candidate
+    DAG is always concretized in full, so a budgeted run returns a
+    usable program whenever the data admits one.
     """
     config = config or GuardrailConfig()
+    if budget is not None:
+        budget.start()
     with obs.span(
         "synth.synthesize",
         n_rows=relation.n_rows,
         n_attributes=len(relation.schema),
         epsilon=config.epsilon,
     ) as run_span:
-        result = _synthesize(relation, config)
+        result = _synthesize(relation, config, budget)
         run_span.set(
             statements=len(result.program),
             dags=result.n_dags_enumerated,
             ci_tests=result.pc_result.n_ci_tests,
             loss=result.loss,
+            partial=result.partial,
         )
     return result
 
 
 def _synthesize(
-    relation: Relation, config: GuardrailConfig
+    relation: Relation, config: GuardrailConfig, budget=None
 ) -> SynthesisResult:
     """The span-free body of :func:`synthesize` (Alg. 2 proper)."""
     rng = np.random.default_rng(config.seed)
@@ -145,7 +170,9 @@ def _synthesize(
             )
         else:
             pc_result = learn_cpdag(
-                tester, max_condition_size=config.max_condition_size
+                tester,
+                max_condition_size=config.max_condition_size,
+                budget=budget,
             )
     timings["structure_learning"] = time.perf_counter() - start
 
@@ -163,7 +190,7 @@ def _synthesize(
     # and enumerate its consistent extensions instead of enforcing exact
     # class membership — Alg. 2's coverage criterion then selects among
     # them.
-    def consider(dag) -> None:
+    def consider(dag, dag_budget=None) -> None:
         nonlocal best_program, best_coverage, n_dags
         n_dags += 1
         sketch = ProgramSketch.from_dag(dag)
@@ -176,6 +203,7 @@ def _synthesize(
             min_support=config.min_support,
             cache=cache,
             stats=stats,
+            budget=dag_budget,
         )
         # Selection uses *total* statement coverage: unlike the average,
         # it does not reward DAGs whose statements fail to concretize
@@ -187,9 +215,17 @@ def _synthesize(
 
     with obs.span("synth.enumeration_and_fill") as fill_span:
         for dag in enumerate_candidate_dags(
-            pc_result.cpdag, max_dags=config.max_dags
+            pc_result.cpdag, max_dags=config.max_dags, budget=budget
         ):
-            consider(dag)
+            # The first DAG concretizes in full even under an exhausted
+            # budget (the partial-result guarantee); later DAGs respect
+            # it and may stop mid-fill.
+            consider(dag, dag_budget=None if n_dags == 0 else budget)
+            if budget is not None and n_dags > 0 and budget.exhausted():
+                budget.note(
+                    f"enumeration: stopped after {n_dags} DAGs"
+                )
+                break
         fill_span.set(
             dags=n_dags,
             cache_hits=stats.cache_hits,
@@ -197,6 +233,9 @@ def _synthesize(
         )
     timings["enumeration_and_fill"] = time.perf_counter() - start
 
+    partial = budget is not None and (
+        budget.truncated or budget.exhausted()
+    )
     loss = program_loss(best_program, relation)
     return SynthesisResult(
         program=best_program,
@@ -209,6 +248,8 @@ def _synthesize(
         n_dags_enumerated=n_dags,
         fill_stats=stats,
         timings=timings,
+        partial=partial,
+        budget_notes=tuple(budget.notes) if budget is not None else (),
     )
 
 
@@ -227,9 +268,13 @@ class Guardrail:
 
     # ------------------------------------------------------------------
 
-    def fit(self, relation: Relation) -> "Guardrail":
-        """Synthesize integrity constraints from (noisy) training data."""
-        self._result = synthesize(relation, self.config)
+    def fit(self, relation: Relation, budget=None) -> "Guardrail":
+        """Synthesize integrity constraints from (noisy) training data.
+
+        An optional :class:`repro.resilience.Budget` caps the synthesis;
+        a budget-truncated fit is still usable (``result.partial``).
+        """
+        self._result = synthesize(relation, self.config, budget=budget)
         return self
 
     @property
@@ -312,17 +357,18 @@ class Guardrail:
         )
 
     @classmethod
-    def load(cls, path, config: GuardrailConfig | None = None) -> "Guardrail":
-        """Reconstruct a guardrail from a saved program file.
+    def from_program(
+        cls, program: Program, config: GuardrailConfig | None = None
+    ) -> "Guardrail":
+        """Wrap an existing program (hand-written or parsed) as a guard.
 
-        The loaded instance can check/handle data immediately; synthesis
-        metadata (timings, PC diagnostics) is not restored.
+        The instance can check/handle data immediately; synthesis
+        metadata (timings, PC diagnostics) is absent.
         """
-        from pathlib import Path
-
-        from ..dsl import parse_program
-
-        program = parse_program(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(program, Program):
+            raise GuardrailLoadError(
+                f"expected a Program, got {type(program).__name__}"
+            )
         guard = cls(config)
         guard._result = SynthesisResult(
             program=program,
@@ -333,6 +379,44 @@ class Guardrail:
             fill_stats=FillStats(),
         )
         return guard
+
+    @classmethod
+    def load(cls, path, config: GuardrailConfig | None = None) -> "Guardrail":
+        """Reconstruct a guardrail from a saved program file.
+
+        The payload is validated before use: a missing file, an empty or
+        binary payload, or DSL text that fails to parse all raise
+        :class:`GuardrailLoadError` naming the path and the cause,
+        instead of leaking ``KeyError``/parser tracebacks to the caller.
+        """
+        from pathlib import Path
+
+        from ..dsl import DslError, parse_program
+
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise GuardrailLoadError(
+                f"no such guardrail file: {path}"
+            ) from None
+        except (OSError, UnicodeDecodeError) as error:
+            raise GuardrailLoadError(
+                f"cannot read guardrail file {path}: {error}"
+            ) from error
+        if not text.strip():
+            raise GuardrailLoadError(
+                f"guardrail file {path} is empty (expected DSL text; "
+                f"was the save truncated?)"
+            )
+        try:
+            program = parse_program(text)
+        except DslError as error:
+            raise GuardrailLoadError(
+                f"guardrail file {path} is not a valid DSL program: "
+                f"{error}"
+            ) from error
+        return cls.from_program(program, config)
 
     def describe(self) -> str:
         """Human-readable summary of the fitted constraints."""

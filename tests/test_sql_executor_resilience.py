@@ -1,0 +1,170 @@
+"""Executor degradation tests: guard/model failures under each policy."""
+
+import pytest
+
+from repro.errors import DataIntegrityError
+from repro.resilience import CircuitBreaker, GuardPolicy
+from repro.resilience.chaos import chaos_program, chaos_relation
+from repro.sql import QueryExecutor, SqlRuntimeError
+from repro.synth import Guardrail
+
+_QUERY = "SELECT PREDICT(m) AS p FROM t"
+
+
+class _EchoModel:
+    def predict_values(self, relation):
+        return list(relation.column_values("City"))
+
+
+class _DeadModel:
+    def predict_values(self, relation):
+        raise RuntimeError("inference backend down")
+
+
+class _DeadGuardrail:
+    def handle(self, relation, strategy):
+        raise RuntimeError("guard kernel down")
+
+
+def _executor(guardrail, model, policy, **kwargs):
+    return QueryExecutor(
+        {"t": chaos_relation()},
+        {"m": model},
+        guardrail=guardrail,
+        strategy="rectify",
+        policy=policy,
+        **kwargs,
+    )
+
+
+class TestGuardStageDegradation:
+    def test_strict_fails_closed(self):
+        executor = _executor(_DeadGuardrail(), _EchoModel(), "strict")
+        with pytest.raises(SqlRuntimeError, match="strict policy"):
+            executor.execute(_QUERY)
+        assert executor.last_metrics.guard_failures == 1
+
+    def test_warn_fails_open_and_records(self):
+        executor = _executor(_DeadGuardrail(), _EchoModel(), "warn")
+        result = executor.execute(_QUERY)
+        assert result.n_rows == chaos_relation().n_rows
+        metrics = executor.last_metrics
+        assert metrics.degraded
+        assert metrics.guard_failures == 1
+        assert any("guard" in note for note in metrics.degradations)
+
+    def test_pass_through_fails_open(self):
+        executor = _executor(_DeadGuardrail(), _EchoModel(), "pass_through")
+        result = executor.execute(_QUERY)
+        assert result.n_rows == chaos_relation().n_rows
+        assert executor.last_metrics.degraded
+
+    def test_reject_withholds_rows(self):
+        executor = _executor(_DeadGuardrail(), _EchoModel(), "reject")
+        result = executor.execute(_QUERY)
+        assert result.n_rows == 0
+        metrics = executor.last_metrics
+        assert metrics.rows_rejected == chaos_relation().n_rows
+        assert metrics.degraded
+
+    def test_intended_raise_strategy_propagates_under_warn(self):
+        # DataIntegrityError from strategy="raise" is the guard doing
+        # its job, not a guard failure — it must propagate under every
+        # policy and not trip the breaker.
+        relation = chaos_relation().set_cell(0, "City", "Austin")
+        executor = QueryExecutor(
+            {"t": relation},
+            {"m": _EchoModel()},
+            guardrail=Guardrail.from_program(chaos_program()),
+            strategy="raise",
+            policy="warn",
+        )
+        with pytest.raises(DataIntegrityError):
+            executor.execute(_QUERY)
+        assert executor.guard_breaker.total_failures == 0
+        assert executor.last_metrics.guard_failures == 0
+
+    def test_watchdog_degrades_slow_guard(self):
+        import time
+
+        class _SlowGuardrail:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def handle(self, relation, strategy):
+                time.sleep(0.01)
+                return self._inner.handle(relation, strategy)
+
+        executor = _executor(
+            _SlowGuardrail(Guardrail.from_program(chaos_program())),
+            _EchoModel(),
+            "warn",
+            guard_timeout_seconds=0.001,
+        )
+        result = executor.execute(_QUERY)
+        assert result.n_rows == chaos_relation().n_rows
+        assert executor.last_metrics.degraded
+        assert executor.guard_breaker.consecutive_failures == 1
+
+
+class TestModelStageDegradation:
+    def _guardrail(self):
+        return Guardrail.from_program(chaos_program())
+
+    def test_strict_fails_closed(self):
+        executor = _executor(self._guardrail(), _DeadModel(), "strict")
+        with pytest.raises(SqlRuntimeError, match="strict policy"):
+            executor.execute(_QUERY)
+        assert executor.last_metrics.model_failures == 1
+
+    def test_warn_yields_null_predictions(self):
+        executor = _executor(self._guardrail(), _DeadModel(), "warn")
+        result = executor.execute(_QUERY)
+        assert result.n_rows == chaos_relation().n_rows
+        assert all(value is None for value in result.column("p"))
+        assert executor.last_metrics.model_failures == 1
+
+    def test_reject_withholds_rows(self):
+        executor = _executor(self._guardrail(), _DeadModel(), "reject")
+        result = executor.execute(_QUERY)
+        assert result.n_rows == 0
+        assert executor.last_metrics.rows_rejected > 0
+
+    def test_unknown_model_is_a_query_error_not_a_fault(self):
+        # A missing model is a malformed query: it raises under every
+        # policy instead of degrading.
+        executor = QueryExecutor(
+            {"t": chaos_relation()}, {}, policy="warn"
+        )
+        with pytest.raises(SqlRuntimeError, match="model"):
+            executor.execute(_QUERY)
+        assert not executor.last_metrics.degraded
+
+    def test_breaker_opens_after_repeated_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2, max_retries=0)
+        executor = _executor(
+            self._guardrail(), _DeadModel(), "warn", model_breaker=breaker
+        )
+        executor.execute(_QUERY)
+        executor.execute(_QUERY)
+        assert breaker.times_opened >= 1
+        # Circuit open: calls are refused but still degrade per policy.
+        result = executor.execute(_QUERY)
+        assert result.n_rows == chaos_relation().n_rows
+        assert executor.last_metrics.degraded
+
+
+class TestHealthyPathUnchanged:
+    @pytest.mark.parametrize(
+        "policy", ["strict", "warn", "pass_through", "reject"]
+    )
+    def test_policies_agree_on_healthy_pipeline(self, policy):
+        executor = _executor(
+            Guardrail.from_program(chaos_program()), _EchoModel(), policy
+        )
+        result = executor.execute(_QUERY)
+        assert result.n_rows == chaos_relation().n_rows
+        metrics = executor.last_metrics
+        assert not metrics.degraded
+        assert metrics.rows_rejected == 0
+        assert GuardPolicy.parse(policy) is executor.policy

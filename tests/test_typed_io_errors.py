@@ -1,0 +1,106 @@
+"""Typed error paths for CSV loading and guardrail persistence.
+
+Satellites of the resilience PR: :class:`RelationIOError` (with row
+numbers) for malformed CSV payloads, and :class:`GuardrailLoadError`
+for corrupt/truncated guardrail files.
+"""
+
+import pytest
+
+from repro.relation import RelationError, RelationIOError, from_csv_text
+from repro.synth import Guardrail, GuardrailLoadError
+
+
+class TestRelationIOError:
+    def test_subclasses_relation_error(self):
+        assert issubclass(RelationIOError, RelationError)
+
+    def test_empty_file_has_no_row(self):
+        with pytest.raises(RelationIOError, match="empty") as info:
+            from_csv_text("")
+        assert info.value.row is None
+
+    def test_empty_header(self):
+        with pytest.raises(RelationIOError, match="header"):
+            from_csv_text("\n1,2\n")
+
+    def test_ragged_row_names_the_row(self):
+        with pytest.raises(RelationIOError, match="row 2") as info:
+            from_csv_text("a,b\n1,2\n3\n")
+        assert info.value.row == 2
+        assert "expected 2" in str(info.value)
+
+    def test_too_many_fields(self):
+        with pytest.raises(RelationIOError, match="3 fields") as info:
+            from_csv_text("a,b\n1,2,3\n")
+        assert info.value.row == 1
+
+    def test_empty_row(self):
+        with pytest.raises(RelationIOError, match="row 2 is empty") as info:
+            from_csv_text("a,b\n1,2\n\n3,4\n")
+        assert info.value.row == 2
+
+    def test_unparsable_numeric_cell(self):
+        with pytest.raises(RelationIOError, match="expects a number") as info:
+            from_csv_text("a,score\nx,1.5\ny,lots\n", numeric=["score"])
+        assert info.value.row == 2
+        assert "'lots'" in str(info.value)
+
+    def test_clean_payload_still_loads(self):
+        relation = from_csv_text("a,b\n1,2\n3,4\n")
+        assert relation.n_rows == 2
+
+
+class TestGuardrailLoadError:
+    def _saved(self, tmp_path, city_program):
+        path = tmp_path / "guard.grd"
+        Guardrail.from_program(city_program).save(path)
+        return path
+
+    def test_roundtrip_still_works(self, tmp_path, city_program):
+        path = self._saved(tmp_path, city_program)
+        loaded = Guardrail.load(path)
+        assert loaded.program == city_program
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GuardrailLoadError, match="no such"):
+            Guardrail.load(tmp_path / "nope.grd")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.grd"
+        path.write_text("")
+        with pytest.raises(GuardrailLoadError, match="empty"):
+            Guardrail.load(path)
+
+    def test_whitespace_only_file(self, tmp_path):
+        path = tmp_path / "blank.grd"
+        path.write_text("  \n\t\n")
+        with pytest.raises(GuardrailLoadError, match="empty"):
+            Guardrail.load(path)
+
+    def test_corrupt_dsl(self, tmp_path):
+        path = tmp_path / "corrupt.grd"
+        path.write_text("if City = then <- garbage ???")
+        with pytest.raises(GuardrailLoadError, match="not a valid DSL"):
+            Guardrail.load(path)
+
+    def test_truncated_file(self, tmp_path, city_program):
+        path = self._saved(tmp_path, city_program)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 3].rsplit(" ", 1)[0])
+        with pytest.raises(GuardrailLoadError):
+            Guardrail.load(path)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "binary.grd"
+        path.write_bytes(b"\xff\xfe\x00\x01guardrail\x00")
+        with pytest.raises(GuardrailLoadError):
+            Guardrail.load(path)
+
+    def test_load_error_is_a_value_error(self):
+        # Callers that predate the typed error keep working.
+        assert issubclass(GuardrailLoadError, ValueError)
+
+    def test_from_program_rejects_non_program(self):
+        with pytest.raises(GuardrailLoadError, match="Program"):
+            Guardrail.from_program({"not": "a program"})
