@@ -10,13 +10,17 @@ to-sql      program → SQL (audit query / CHECK clauses / UPDATEs)
 experiment  regenerate one or all of the paper's tables/figures
 obs         observability: render a trace file into a report
 chaos       run the fault-injection suite under a degradation policy
+drift       vet a stream CSV for drift against training data, with
+            optional self-healing re-synthesis (--heal)
 
-``synthesize``, ``check``, ``rectify``, and ``experiment`` accept
-``--trace PATH`` to record a structured JSONL trace of the run
+``synthesize``, ``check``, ``rectify``, ``experiment``, and ``drift``
+accept ``--trace PATH`` to record a structured JSONL trace of the run
 (:mod:`repro.obs`); ``obs report PATH`` renders it.  ``synthesize
 --budget SECONDS`` caps synthesis wall-clock (best-so-far partial
-program); ``rectify --guard-policy`` and ``chaos --guard-policy``
-select a :class:`repro.resilience.GuardPolicy` degradation mode.
+program), ``--checkpoint PATH`` journals crash-safe synthesis state
+there, and ``--resume PATH`` continues from such a journal;
+``rectify --guard-policy`` and ``chaos --guard-policy`` select a
+:class:`repro.resilience.GuardPolicy` degradation mode.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from .dsl import (
 )
 from .errors import apply_strategy, detect_errors
 from .relation import read_csv, write_csv
-from .synth import GuardrailConfig, synthesize
+from .synth import CheckpointError, GuardrailConfig, synthesize
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=float, metavar="SECONDS",
         help="wall-clock budget; exhaustion returns the best-so-far "
         "partial program instead of running unbounded",
+    )
+    synth.add_argument(
+        "--checkpoint", type=Path, metavar="PATH",
+        help="journal crash-safe synthesis state here (atomic writes); "
+        "a killed run resumes via --resume PATH",
+    )
+    synth.add_argument(
+        "--resume", type=Path, metavar="PATH",
+        help="resume from a checkpoint journaled by --checkpoint on the "
+        "same data and settings (skips completed phases)",
     )
     synth.add_argument("--seed", type=int, default=0)
 
@@ -197,6 +211,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="run only this fault class (repeatable; default: all)",
     )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the harness's random generator (default 0)",
+    )
+
+    drift = sub.add_parser(
+        "drift",
+        help="vet a stream CSV for drift against training data "
+        "(repro.resilience.drift)",
+    )
+    add_trace_flag(drift)
+    drift.add_argument(
+        "train", type=Path, help="training data the guard was fit on"
+    )
+    drift.add_argument(
+        "stream", type=Path, help="arriving data to vet for drift"
+    )
+    drift.add_argument(
+        "--program", type=Path, metavar="PATH",
+        help="saved DSL program to guard with (default: synthesize "
+        "one from the training CSV)",
+    )
+    drift.add_argument(
+        "--window", type=int, default=512,
+        help="rows per drift-evaluation window (default 512)",
+    )
+    drift.add_argument(
+        "--heal", action="store_true",
+        help="run the full self-healing loop: on drift, re-synthesize "
+        "under a budget, validate, and hot-swap the guardrail",
+    )
+    drift.add_argument(
+        "--heal-budget", type=float, default=10.0, metavar="SECONDS",
+        help="wall-clock budget per re-synthesis attempt (default 10)",
+    )
 
     return parser
 
@@ -215,7 +264,21 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         from .resilience import Budget
 
         budget = Budget(seconds=args.budget)
-    result = synthesize(relation, config, budget=budget)
+    try:
+        result = synthesize(
+            relation,
+            config,
+            budget=budget,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume,
+        )
+    except CheckpointError as error:
+        print(f"cannot resume: {error}", file=sys.stderr)
+        return 2
+    if result.resumed:
+        print(
+            f"-- resumed from checkpoint {args.resume}", file=sys.stderr
+        )
     text = format_program(result.program)
     print(
         f"-- {len(result.program)} statements, "
@@ -410,9 +473,70 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    outcomes = run_chaos_suite(args.guard_policy, faults=faults)
+    import numpy as np
+
+    outcomes = run_chaos_suite(
+        args.guard_policy,
+        faults=faults,
+        rng=np.random.default_rng(args.seed),
+    )
     print(render_chaos_report(outcomes))
     return 0 if all(o.conformant for o in outcomes) else 1
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from .resilience import (
+        DriftDetector,
+        GuardrailSupervisor,
+        SupervisorConfig,
+        render_drift_report,
+    )
+    from .synth import Guardrail
+
+    train = read_csv(args.train)
+    stream = read_csv(args.stream)
+    if args.program is not None:
+        guard = Guardrail.load(args.program)
+    else:
+        print("-- synthesizing guard from training data", file=sys.stderr)
+        guard = Guardrail(GuardrailConfig()).fit(train)
+    detector = DriftDetector.from_training(
+        train, program=guard.program, window=args.window
+    )
+    if args.heal:
+        supervisor = GuardrailSupervisor(
+            guard,
+            drift=detector,
+            config=SupervisorConfig(
+                heal_budget_seconds=args.heal_budget,
+                min_heal_rows=min(128, max(8, stream.n_rows // 4)),
+            ),
+        )
+        flagged = sum(
+            0 if verdict.ok else 1
+            for verdict in supervisor.stream(stream.iter_rows())
+        )
+        alerts, stats = supervisor.alerts, supervisor.drift.stats
+        print(render_drift_report(alerts, stats))
+        for heal in supervisor.heals:
+            tag = "accepted" if heal.accepted else "rejected"
+            print(f"heal {tag}: {heal.reason}")
+        print(
+            f"{flagged} of {stream.n_rows} rows flagged; guardrail at "
+            f"version {supervisor.version}"
+        )
+    else:
+        row_guard = guard.row_guard()
+        row_guard.attach_drift(detector)
+        flagged = sum(
+            0 if row_guard.check(row).ok else 1
+            for row in stream.iter_rows()
+        )
+        detector.flush()
+        alerts = detector.poll()
+        print(render_drift_report(alerts, detector.stats))
+        print(f"{flagged} of {stream.n_rows} rows flagged")
+    return 1 if alerts else 0
 
 
 _COMMANDS = {
@@ -424,6 +548,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "obs": _cmd_obs,
     "chaos": _cmd_chaos,
+    "drift": _cmd_drift,
 }
 
 

@@ -100,8 +100,32 @@ class RowGuard:
                 )
             )
         self.stats = GuardStats()
+        self._drift = None
+        self._drift_tick = 0
+        self._drift_every = 1
 
     # ------------------------------------------------------------------
+
+    def attach_drift(self, detector) -> None:
+        """Feed every verdict into a drift detector.
+
+        ``detector`` follows the :class:`repro.resilience.DriftDetector`
+        protocol (``sample_every`` + ``ingest(row, ok)``); pass ``None``
+        to detach.  The guard inlines the detector's 1-in-k sampling
+        countdown (``_drift_tick``; 0 doubles as "no detector"), so a
+        skipped row pays one decrement — no method call — and only
+        every k-th verdict reaches the detector.
+        """
+        self._drift = detector
+        self._drift_every = (
+            getattr(detector, "sample_every", 1) if detector else 1
+        )
+        self._drift_tick = self._drift_every if detector else 0
+
+    @property
+    def drift(self):
+        """The attached drift detector, if any."""
+        return self._drift
 
     def check(self, row: Mapping[str, Hashable]) -> RowVerdict:
         """Vet one row; O(#statements) hash probes.
@@ -113,6 +137,13 @@ class RowGuard:
         traced = obs.enabled()
         start = time.perf_counter() if traced else 0.0
         verdict = self._verdict(row)
+        tick = self._drift_tick
+        if tick:
+            if tick != 1:
+                self._drift_tick = tick - 1
+            else:
+                self._drift_tick = self._drift_every
+                self._drift.ingest(row, verdict.ok)
         self.stats.rows_checked += 1
         if not verdict.ok:
             self.stats.rows_flagged += 1
@@ -257,8 +288,27 @@ class BatchGuard:
         self.batch_size = int(batch_size)
         self._compiled = compile_program(program, codecs)
         self.stats = GuardStats()
+        self._drift = None
+        self._drift_tick = 0
+        self._drift_every = 1
 
     # ------------------------------------------------------------------
+
+    def attach_drift(self, detector) -> None:
+        """Feed every verdict into a drift detector (see
+        :meth:`RowGuard.attach_drift`); ``None`` detaches.  The 1-in-k
+        sampling countdown carries across batch boundaries, so the
+        batch path samples exactly the rows the row path would."""
+        self._drift = detector
+        self._drift_every = (
+            getattr(detector, "sample_every", 1) if detector else 1
+        )
+        self._drift_tick = self._drift_every if detector else 0
+
+    @property
+    def drift(self):
+        """The attached drift detector, if any."""
+        return self._drift
 
     def check_batch(
         self, rows: Sequence[Mapping[str, Hashable]]
@@ -273,6 +323,22 @@ class BatchGuard:
         traced = obs.enabled()
         start = time.perf_counter() if traced else 0.0
         verdicts = self._verdicts(rows)
+        if self._drift is not None and rows:
+            # Inline the 1-in-k countdown (as RowGuard does) so the
+            # ``.ok`` extraction only runs over the sampled slice.
+            n = len(rows)
+            start = self._drift_tick - 1
+            if start >= n:
+                self._drift_tick -= n
+            else:
+                k = self._drift_every
+                last = start + ((n - 1 - start) // k) * k
+                self._drift_tick = last + k - n + 1
+                sampled = verdicts[start::k] if k > 1 else verdicts
+                self._drift.ingest_many(
+                    rows[start::k] if k > 1 else rows,
+                    [verdict.ok for verdict in sampled],
+                )
         flagged = 0
         for verdict in verdicts:
             self.stats.rows_checked += 1

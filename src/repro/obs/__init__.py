@@ -24,6 +24,7 @@ from .report import (
     aggregate_counters,
     aggregate_histograms,
     build_span_tree,
+    render_drift_dashboard,
     render_guard_dashboard,
     render_metrics,
     render_report,
@@ -78,6 +79,7 @@ __all__ = [
     "aggregate_counters",
     "aggregate_histograms",
     "render_metrics",
+    "render_drift_dashboard",
     "render_guard_dashboard",
     "render_report",
 ]

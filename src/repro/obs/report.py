@@ -184,13 +184,65 @@ def render_guard_dashboard(events: Iterable[dict]) -> str:
     return "\n".join(lines)
 
 
+def render_drift_dashboard(events: Iterable[dict]) -> str:
+    """The self-healing section: drift alerts and guardrail swaps."""
+    alerts_by_kind: dict[str, int] = {}
+    alerts_by_attribute: dict[str, int] = {}
+    windows = swaps = heals_accepted = heals_rejected = 0
+    for event in events:
+        kind = event.get("type")
+        if kind == "drift.alert":
+            alert_kind = event.get("kind", "?")
+            alerts_by_kind[alert_kind] = (
+                alerts_by_kind.get(alert_kind, 0) + 1
+            )
+            attribute = event.get("attribute")
+            if attribute:
+                alerts_by_attribute[attribute] = (
+                    alerts_by_attribute.get(attribute, 0) + 1
+                )
+        elif kind == "counter":
+            name = event.get("name")
+            delta = int(event.get("value", 1))
+            if name == "drift.window":
+                windows += delta
+            elif name == "recovery.swap":
+                swaps += delta
+            elif name == "recovery.heal.accepted":
+                heals_accepted += delta
+            elif name == "recovery.heal.rejected":
+                heals_rejected += delta
+    total_alerts = sum(alerts_by_kind.values())
+    if total_alerts == 0 and windows == 0 and swaps == 0:
+        return "  (no drift activity recorded)"
+    lines = [
+        f"  windows evaluated  {windows}",
+        f"  alerts raised      {total_alerts}",
+    ]
+    for name, n in sorted(alerts_by_kind.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {name:<28} {n}")
+    if alerts_by_attribute:
+        lines.append("  alerts by attribute:")
+        for name, n in sorted(
+            alerts_by_attribute.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"    {name:<28} {n}")
+    lines.append(
+        f"  heals              {heals_accepted} accepted, "
+        f"{heals_rejected} rejected"
+    )
+    lines.append(f"  guardrail swaps    {swaps}")
+    return "\n".join(lines)
+
+
 def render_report(source: "Iterable[dict] | str | Path") -> str:
-    """Full three-section report from a trace file, sink, or event list."""
+    """Full report from a trace file, sink, or event list."""
     events = iter_events(source)
     sections = [
         ("Phase timings", render_span_tree(events)),
         ("Metrics", render_metrics(events)),
         ("Guard dashboard", render_guard_dashboard(events)),
+        ("Drift & self-healing", render_drift_dashboard(events)),
     ]
     parts = [f"trace: {len(events)} events"]
     for title, body in sections:

@@ -40,6 +40,8 @@ def learn_cpdag(
     max_condition_size: int | None = None,
     max_degree: int | None = None,
     budget=None,
+    initial_skeleton=None,
+    initial_separating=None,
 ) -> PCResult:
     """Run PC-stable on the variables of ``tester``.
 
@@ -58,13 +60,43 @@ def learn_cpdag(
         edges stay — a denser, conservative skeleton) and is recorded
         in ``PCResult.notes``; orientation still runs on what was
         learned.
+    initial_skeleton:
+        Warm start: a :class:`PDAG` (its skeleton is used) or an
+        iterable of node pairs.  The search starts from these edges
+        instead of the complete graph, so PC only *prunes within* the
+        prior structure — the payoff when re-synthesizing after drift,
+        where the true skeleton rarely changes wholesale.  Edges naming
+        unknown variables are ignored (schemas may gain attributes
+        between runs).
+    initial_separating:
+        Warm start: separating sets from the prior run for the pairs
+        *outside* ``initial_skeleton``, so v-structure orientation sees
+        the evidence that removed those edges.
     """
     nodes = tester.names
     truncated = False
-    adjacency: dict[str, set[str]] = {
-        n: {m for m in nodes if m != n} for n in nodes
-    }
+    if initial_skeleton is None:
+        adjacency: dict[str, set[str]] = {
+            n: {m for m in nodes if m != n} for n in nodes
+        }
+    else:
+        known = set(nodes)
+        edges = (
+            initial_skeleton.skeleton()
+            if hasattr(initial_skeleton, "skeleton")
+            else initial_skeleton
+        )
+        adjacency = {n: set() for n in nodes}
+        for u, v in edges:
+            if u in known and v in known and u != v:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
     separating: dict[frozenset[str], frozenset[str]] = {}
+    if initial_separating is not None:
+        known = set(nodes)
+        for pair, sepset in initial_separating.items():
+            if set(pair) <= known and set(sepset) <= known:
+                separating[frozenset(pair)] = frozenset(sepset)
     queries_before = tester.n_queries
 
     with obs.span("pgm.learn_cpdag", n_nodes=len(nodes)) as pc_span:

@@ -1,6 +1,6 @@
-"""Resilience layer: budgets, degradation policies, chaos injection.
+"""Resilience layer: budgets, policies, chaos, and self-healing.
 
-Three pillars keep the pipeline production-safe:
+Five pillars keep the pipeline production-safe:
 
 * :mod:`~repro.resilience.budget` — :class:`Budget` objects threaded
   through synthesis (PC, MEC enumeration, sketch filling, OptSMT) so
@@ -10,8 +10,16 @@ Three pillars keep the pipeline production-safe:
   modes (strict / warn / pass_through / reject), a
   :class:`CircuitBreaker` with retry/backoff, and resilient wrappers
   for the streaming guards;
+* :mod:`~repro.resilience.drift` — online :class:`DriftDetector`\\ s
+  (codec-unseen rate, χ²/G² marginal shift, EWMA violation chart)
+  raising typed :class:`DriftAlert`\\ s when the stream leaves the
+  training distribution;
+* :mod:`~repro.resilience.recovery` — the :class:`GuardrailSupervisor`
+  closing the loop: quarantine, budgeted warm-started re-synthesis,
+  held-out validation, atomic guardrail hot-swap with rollback;
 * :mod:`~repro.resilience.chaos` — a fault-injection harness proving
-  every fault class yields a policy-conformant outcome.
+  every fault class (including drift-shaped ones) yields a
+  policy-conformant outcome.
 """
 
 from .budget import Budget, BudgetExceeded
@@ -24,6 +32,13 @@ from .chaos import (
     run_chaos_suite,
     run_fault,
 )
+from .drift import (
+    DRIFT_KINDS,
+    DriftAlert,
+    DriftDetector,
+    DriftStats,
+    render_drift_report,
+)
 from .policy import (
     BreakerState,
     CircuitBreaker,
@@ -34,6 +49,16 @@ from .policy import (
     ResilientBatchGuard,
     ResilientRowGuard,
     resilient_call,
+)
+from .recovery import (
+    OVERFLOW_POLICIES,
+    GuardrailSupervisor,
+    GuardrailVersions,
+    HealOutcome,
+    LiveBatchGuard,
+    LiveRowGuard,
+    QuarantineBuffer,
+    SupervisorConfig,
 )
 
 __all__ = [
@@ -48,6 +73,19 @@ __all__ = [
     "ResilientRowGuard",
     "ResilientBatchGuard",
     "resilient_call",
+    "DRIFT_KINDS",
+    "DriftAlert",
+    "DriftDetector",
+    "DriftStats",
+    "render_drift_report",
+    "OVERFLOW_POLICIES",
+    "QuarantineBuffer",
+    "GuardrailVersions",
+    "LiveRowGuard",
+    "LiveBatchGuard",
+    "SupervisorConfig",
+    "HealOutcome",
+    "GuardrailSupervisor",
     "FAULT_CLASSES",
     "ChaosOutcome",
     "chaos_relation",

@@ -25,6 +25,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..dsl import Branch, Condition, Program, Statement
 from ..relation import Relation
 from .policy import (
@@ -42,6 +44,8 @@ FAULT_CLASSES = (
     "codec_unseen",
     "malformed_rows",
     "schema_drift",
+    "marginal_shift",
+    "unseen_burst",
 )
 """Every fault class the harness can inject, in suite order."""
 
@@ -380,6 +384,157 @@ def _fault_malformed_rows(policy: GuardPolicy) -> ChaosOutcome:
     )
 
 
+# ---------------------------------------------------------------------------
+# Drift-shaped fault classes: the supervisor must detect AND recover
+# ---------------------------------------------------------------------------
+
+
+def _sample_rows(mapping: dict, n: int, rng: np.random.Generator) -> list:
+    """Draw ``n`` rows from a postal → (city, state) world."""
+    postals = sorted(mapping)
+    rows = []
+    for _ in range(n):
+        postal = postals[int(rng.integers(len(postals)))]
+        city, state = mapping[postal]
+        rows.append({"PostalCode": postal, "City": city, "State": state})
+    return rows
+
+
+def _drift_world() -> dict:
+    """The training-time postal → (city, state) mapping."""
+    return {
+        postal: (city, _STATE_OF[city]) for postal, city in _CITY_OF.items()
+    }
+
+
+def _drift_supervisor(policy: GuardPolicy, training: Relation):
+    """A supervisor over a synthesized guard, tuned for short streams."""
+    from ..synth import Guardrail
+    from .recovery import GuardrailSupervisor, SupervisorConfig
+    from .drift import DriftDetector
+
+    guardrail = Guardrail().fit(training)
+    detector = DriftDetector.from_training(
+        training,
+        program=guardrail.program,
+        window=96,
+        min_window=48,
+        sample_every=1,
+    )
+    return GuardrailSupervisor(
+        guardrail,
+        drift=detector,
+        policy=policy,
+        config=SupervisorConfig(
+            history_rows=512,
+            min_heal_rows=96,
+            heal_budget_seconds=10.0,
+            cooldown_rows=128,
+        ),
+    )
+
+
+def _judge_selfheal(
+    fault: str,
+    policy: GuardPolicy,
+    supervisor,
+    clean_flags: int,
+    tail_flags: int,
+    tail_rows: int,
+) -> ChaosOutcome:
+    """Did the supervisor detect the drift and return to a quiet guard?
+
+    Self-healing is orthogonal to the degradation policy (a healthy
+    guard raising honest verdicts is not a *failure*), so the same
+    conformance bar holds under every :class:`GuardPolicy`: an alert
+    fired, a heal was accepted, and the post-swap false-flag rate is
+    back near the pre-drift level.
+    """
+    if clean_flags:
+        return ChaosOutcome(
+            fault, policy, False,
+            f"guard flagged {clean_flags} clean rows before any drift",
+        )
+    if not supervisor.alerts:
+        return ChaosOutcome(
+            fault, policy, False, "drift injected but no alert fired"
+        )
+    if not any(heal.accepted for heal in supervisor.heals):
+        reasons = "; ".join(h.reason for h in supervisor.heals) or "none"
+        return ChaosOutcome(
+            fault, policy, False, f"no heal accepted (attempts: {reasons})"
+        )
+    tail_rate = tail_flags / tail_rows if tail_rows else 0.0
+    if tail_rate > 0.05:
+        return ChaosOutcome(
+            fault, policy, False,
+            f"post-swap false-flag rate {tail_rate:.2%} never recovered",
+        )
+    kinds = sorted({alert.kind for alert in supervisor.alerts})
+    return ChaosOutcome(
+        fault, policy, True,
+        f"detected ({', '.join(kinds)}), healed to v{supervisor.version}, "
+        f"post-swap flag rate {tail_rate:.2%}",
+    )
+
+
+def _fault_marginal_shift(
+    policy: GuardPolicy, rng: np.random.Generator
+) -> ChaosOutcome:
+    """Gradual marginal shift: one postal code slides to a new city."""
+    world = _drift_world()
+    shifted = dict(world)
+    shifted["94704"] = ("Oakland", "CA")
+    training = Relation.from_rows(_sample_rows(world, 300, rng))
+    supervisor = _drift_supervisor(policy, training)
+
+    clean_flags = sum(
+        0 if supervisor.check(row).ok else 1
+        for row in _sample_rows(world, 200, rng)
+    )
+    # The shift arrives gradually: the new world's share of traffic
+    # ramps from 0 to 1 over the transition window.
+    for step in range(600):
+        source = shifted if rng.random() < step / 400 else world
+        supervisor.check(_sample_rows(source, 1, rng)[0])
+    tail = _sample_rows(shifted, 200, rng)
+    tail_flags = sum(
+        0 if supervisor.check(row).ok else 1 for row in tail
+    )
+    return _judge_selfheal(
+        "marginal_shift", policy, supervisor, clean_flags,
+        tail_flags, len(tail),
+    )
+
+
+def _fault_unseen_burst(
+    policy: GuardPolicy, rng: np.random.Generator
+) -> ChaosOutcome:
+    """A burst of codec-unseen values: a new postal/city pair appears."""
+    world = _drift_world()
+    burst_world = dict(world)
+    burst_world["02139"] = ("Cambridge", "MA")
+    training = Relation.from_rows(_sample_rows(world, 300, rng))
+    supervisor = _drift_supervisor(policy, training)
+
+    clean_flags = sum(
+        0 if supervisor.check(row).ok else 1
+        for row in _sample_rows(world, 200, rng)
+    )
+    # The burst: every value of the new pair is outside the training
+    # codecs, arriving all at once rather than ramping.
+    for row in _sample_rows(burst_world, 600, rng):
+        supervisor.check(row)
+    tail = _sample_rows(burst_world, 200, rng)
+    tail_flags = sum(
+        0 if supervisor.check(row).ok else 1 for row in tail
+    )
+    return _judge_selfheal(
+        "unseen_burst", policy, supervisor, clean_flags,
+        tail_flags, len(tail),
+    )
+
+
 def _fault_schema_drift(policy: GuardPolicy) -> ChaosOutcome:
     """Mid-stream, the upstream producer renames/narrows its columns.
 
@@ -406,25 +561,51 @@ _FAULTS = {
     "codec_unseen": _fault_codec_unseen,
     "malformed_rows": _fault_malformed_rows,
     "schema_drift": _fault_schema_drift,
+    "marginal_shift": _fault_marginal_shift,
+    "unseen_burst": _fault_unseen_burst,
 }
 
+_RNG_FAULTS = {"marginal_shift", "unseen_burst"}
+"""Fault classes whose streams are sampled (all others are fixed)."""
 
-def run_fault(fault: str, policy: "GuardPolicy | str") -> ChaosOutcome:
-    """Inject one fault class under one policy; judge the outcome."""
+
+def run_fault(
+    fault: str,
+    policy: "GuardPolicy | str",
+    rng: "np.random.Generator | None" = None,
+) -> ChaosOutcome:
+    """Inject one fault class under one policy; judge the outcome.
+
+    ``rng`` seeds the sampled (drift-shaped) fault classes; it defaults
+    to ``np.random.default_rng(0)`` so repeated runs — and CI — are
+    deterministic.
+    """
     if fault not in _FAULTS:
         raise ValueError(
             f"unknown fault class {fault!r}; choose from "
             + ", ".join(FAULT_CLASSES)
         )
-    return _FAULTS[fault](GuardPolicy.parse(policy))
+    resolved = GuardPolicy.parse(policy)
+    if fault in _RNG_FAULTS:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        return _FAULTS[fault](resolved, rng)
+    return _FAULTS[fault](resolved)
 
 
 def run_chaos_suite(
     policy: "GuardPolicy | str" = GuardPolicy.WARN,
     faults: tuple[str, ...] = FAULT_CLASSES,
+    rng: "np.random.Generator | None" = None,
 ) -> list[ChaosOutcome]:
-    """Inject every fault class under ``policy``; return the verdicts."""
-    return [run_fault(fault, policy) for fault in faults]
+    """Inject every fault class under ``policy``; return the verdicts.
+
+    One ``rng`` is shared across the suite's sampled fault classes, so a
+    fixed seed pins the whole run.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return [run_fault(fault, policy, rng=rng) for fault in faults]
 
 
 def render_chaos_report(outcomes: list[ChaosOutcome]) -> str:

@@ -207,6 +207,22 @@ class _ResilientGuardBase:
         self.watchdog_seconds = watchdog_seconds
         self.stats = DegradationStats()
 
+    def attach_drift(self, detector) -> None:
+        """Attach a drift detector to the wrapped guard.
+
+        Delegates to the inner guard's ``attach_drift`` (see
+        :meth:`repro.errors.RowGuard.attach_drift`), so detection rides
+        the same verdicts the caller sees — including a degraded
+        verdict's row never reaching the detector, since a row the
+        guard could not vet says nothing about drift.
+        """
+        self.guard.attach_drift(detector)
+
+    @property
+    def drift(self):
+        """The inner guard's attached drift detector, if any."""
+        return getattr(self.guard, "drift", None)
+
     def _degraded_verdict(self, error: BaseException) -> RowVerdict:
         """The policy-dictated verdict for a row the guard never saw."""
         self.stats.failures += 1

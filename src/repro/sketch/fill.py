@@ -42,11 +42,23 @@ class FillStats:
 
 @dataclass
 class FillCache:
-    """Statement-level memo: sketch → concretized statement (or None)."""
+    """Statement-level memo: sketch → concretized statement (or None).
+
+    Entries are only valid for one (relation, ε, min_support) context.
+    Within a single :func:`repro.synth.synthesize` run that is
+    automatic; a cache *shared across runs* (the self-healing loop
+    reuses one across re-synthesis attempts) must call :meth:`scope`
+    first, which flushes stale entries whenever the data or the fill
+    parameters changed.
+    """
 
     entries: dict[StatementSketch, Statement | None] = field(
         default_factory=dict
     )
+    scope_token: tuple | None = None
+    """Fingerprint of the context the current entries were filled in."""
+    invalidations: int = 0
+    """How many times :meth:`scope` flushed stale entries."""
 
     def get(self, sketch: StatementSketch):
         """The cached fill for ``sketch`` (miss sentinel when absent)."""
@@ -55,6 +67,33 @@ class FillCache:
     def put(self, sketch: StatementSketch, statement: Statement | None) -> None:
         """Memoize the fill result for ``sketch``."""
         self.entries[sketch] = statement
+
+    def scope(
+        self, relation: Relation, epsilon: float, min_support: int = 1
+    ) -> "FillCache":
+        """Bind the cache to a fill context, flushing stale entries.
+
+        The token covers the relation's *content* (row count, attribute
+        names, a digest of the encoded cells) plus ε and min_support,
+        so identical re-fills hit while any change — one edited cell,
+        a different tolerance — invalidates rather than serving a fill
+        computed against other data.  Returns ``self`` for chaining.
+        """
+        import hashlib
+
+        digest = hashlib.sha256(relation.codes_matrix().tobytes())
+        token = (
+            relation.n_rows,
+            relation.names,
+            float(epsilon),
+            int(min_support),
+            digest.hexdigest()[:16],
+        )
+        if self.scope_token is not None and self.scope_token != token:
+            self.entries.clear()
+            self.invalidations += 1
+        self.scope_token = token
+        return self
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -359,6 +359,10 @@ class ExecutionMetrics:
     rows_rejected: int = 0
     degraded: bool = False
     degradations: list[str] = field(default_factory=list)
+    guard_version: int | None = None
+    """Version of the guardrail that vetted this query (None when the
+    attached guardrail is unversioned or absent); lets audit trails tie
+    each query to the exact program enforced during a hot-swap window."""
 
 
 class QueryExecutor:
@@ -417,6 +421,35 @@ class QueryExecutor:
         self.last_metrics = ExecutionMetrics()
         self.last_plan: Plan | None = None
 
+    def swap_guardrail(self, replacement) -> None:
+        """Hot-swap the guardrail used by subsequent guard stages.
+
+        Accepts a fitted :class:`~repro.synth.Guardrail`, a
+        :class:`~repro.resilience.GuardrailVersions` holder (whose own
+        swaps then apply live without calling this again), or a path to
+        a saved guardrail file.  A corrupt/missing file raises
+        :class:`~repro.synth.GuardrailLoadError` and the **previous
+        guardrail stays active** — the load is validated before any
+        state changes.
+        """
+        from ..synth import Guardrail, GuardrailLoadError
+
+        if isinstance(replacement, (str, bytes)) or hasattr(
+            replacement, "__fspath__"
+        ):
+            replacement = Guardrail.load(replacement)  # may raise, pre-swap
+        elif not (
+            isinstance(replacement, Guardrail)
+            or hasattr(replacement, "handle")
+        ):
+            raise GuardrailLoadError(
+                f"cannot swap in a {type(replacement).__name__}; expected "
+                f"a Guardrail, a GuardrailVersions holder, or a path"
+            )
+        self.guardrail = replacement
+        if obs.enabled():
+            obs.count("sql.guard_swap")
+
     def execute(self, query: "str | SelectQuery") -> QueryResult:
         """Parse (if needed), plan, and run one query.
 
@@ -433,7 +466,9 @@ class QueryExecutor:
         )
         plan = plan_query(query, guard_strategy=guard_strategy)
         self.last_plan = plan
-        metrics = ExecutionMetrics()
+        metrics = ExecutionMetrics(
+            guard_version=getattr(self.guardrail, "version", None)
+        )
         started = time.perf_counter()
 
         relation: Relation | None = None

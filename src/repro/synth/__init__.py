@@ -1,5 +1,10 @@
 """Synthesis core: Algorithm 2, the Guardrail facade, OptSMT baseline."""
 
+from .checkpoint import (
+    CheckpointError,
+    SynthesisCheckpoint,
+    relation_fingerprint,
+)
 from .config import GuardrailConfig
 from .optsmt import (
     OptSmtOutcome,
@@ -17,10 +22,13 @@ from .synthesizer import (
 )
 
 __all__ = [
+    "CheckpointError",
     "Guardrail",
     "GuardrailConfig",
     "GuardrailLoadError",
+    "SynthesisCheckpoint",
     "SynthesisResult",
+    "relation_fingerprint",
     "synthesize",
     "enumerate_candidate_dags",
     "OptSmtOutcome",

@@ -1,0 +1,224 @@
+"""Crash-safe synthesis checkpoints (journal + resume).
+
+A long :func:`repro.synth.synthesize` run has two expensive phases —
+PC's CI tests and the MEC enumeration/fill loop — and a killed process
+used to restart both from scratch.  This module journals the synthesis
+state to disk so a successor resumes where the casualty stopped:
+
+* the learned pattern (CPDAG + separating sets) once PC completes;
+* the enumeration cursor (how many DAGs were *fully* concretized), the
+  best-so-far program (as round-trippable DSL text), its selection
+  score, and the budget spent so far, updated after every DAG.
+
+Journal entries are written atomically (temp file + ``os.replace``), so
+a crash mid-write leaves the previous consistent entry, never a torn
+one.  Only state an *uninterrupted* run would also have produced is
+journaled — a budget-truncated fill is not — which is what makes
+``synthesize(resume_from=...)`` return a program equivalent to the
+uninterrupted run (the enumeration order is deterministic and the fill
+is a pure function of sketch × data).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+FORMAT_VERSION = 1
+"""Journal schema version; bumped on incompatible layout changes."""
+
+
+class CheckpointError(ValueError):
+    """Raised when a synthesis checkpoint is missing, corrupt, or was
+    written for different data/config than the resuming run's."""
+
+
+def relation_fingerprint(relation) -> str:
+    """A content digest identifying a relation for resume validation.
+
+    Covers the row count, the attribute names, and the encoded cell
+    values, so resuming against *different* data is rejected instead of
+    silently producing a program synthesized from a mixture.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(relation.n_rows).encode())
+    digest.update("\x1f".join(relation.names).encode())
+    digest.update(relation.codes_matrix().tobytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class SynthesisCheckpoint:
+    """One journal entry: everything a resumed run needs to continue."""
+
+    phase: str
+    """``"pc"`` (structure learning done) or ``"fill"`` (mid-loop)."""
+    relation_token: str
+    """:func:`relation_fingerprint` of the training relation."""
+    config_token: str
+    """Fingerprint of the synthesis config (seed, epsilon, ...)."""
+    cpdag_nodes: list[str] = field(default_factory=list)
+    cpdag_directed: list[list[str]] = field(default_factory=list)
+    cpdag_undirected: list[list[str]] = field(default_factory=list)
+    separating_sets: list[list[list[str]]] = field(default_factory=list)
+    """Pairs ``[[x, y], [s1, s2, ...]]`` of PC's recorded separators."""
+    n_ci_tests: int = 0
+    levels_run: int = 0
+    dag_cursor: int = 0
+    """How many leading DAGs of the deterministic enumeration were
+    fully concretized; the resumed run skips exactly these."""
+    best_program_text: str = ""
+    """Best-so-far program as DSL text (empty = no winner yet)."""
+    best_selection_score: float = -1.0
+    """The selection criterion value of ``best_program_text``."""
+    budget_steps_spent: int = 0
+    budget_seconds_spent: float = 0.0
+    format_version: int = FORMAT_VERSION
+
+    # ------------------------------------------------------------------
+
+    def pc_result(self):
+        """Rebuild the journaled :class:`~repro.pgm.PCResult`."""
+        from ..pgm import PCResult, PDAG
+
+        cpdag = PDAG(
+            self.cpdag_nodes,
+            directed=[tuple(e) for e in self.cpdag_directed],
+            undirected=[tuple(e) for e in self.cpdag_undirected],
+        )
+        separating = {
+            frozenset(pair): frozenset(sepset)
+            for pair, sepset in self.separating_sets
+        }
+        return PCResult(
+            cpdag=cpdag,
+            separating_sets=separating,
+            n_ci_tests=self.n_ci_tests,
+            levels_run=self.levels_run,
+        )
+
+    def best_program(self):
+        """Rebuild the journaled best-so-far program."""
+        from ..dsl import Program, parse_program
+
+        if not self.best_program_text.strip():
+            return Program.empty()
+        return parse_program(self.best_program_text)
+
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Journal this entry atomically (temp file + ``os.replace``)."""
+        path = Path(path)
+        payload = json.dumps(self.__dict__, indent=2, sort_keys=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path) -> "SynthesisCheckpoint":
+        """Read a journal entry; typed errors on any corruption.
+
+        Raises :class:`CheckpointError` for a missing file, non-JSON
+        payload, wrong format version, or missing fields — never a bare
+        ``KeyError``/``JSONDecodeError``.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no such checkpoint file: {path}"
+            ) from None
+        except (OSError, UnicodeDecodeError) as error:
+            raise CheckpointError(
+                f"cannot read checkpoint file {path}: {error}"
+            ) from error
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"checkpoint file {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"checkpoint file {path} does not hold a JSON object"
+            )
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint file {path} has format version {version!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise CheckpointError(
+                f"checkpoint file {path} is missing or has unexpected "
+                f"fields: {error}"
+            ) from error
+
+
+def config_fingerprint(config) -> str:
+    """Fingerprint of the config fields that shape the synthesis output."""
+    digest = hashlib.sha256()
+    fields = (
+        config.seed,
+        config.epsilon,
+        config.alpha,
+        config.learner,
+        config.max_dags,
+        config.max_condition_size,
+        config.min_support,
+        config.min_samples_per_dof,
+        config.prune_gnt,
+    )
+    digest.update(repr(fields).encode())
+    return digest.hexdigest()[:16]
+
+
+def checkpoint_from_state(
+    relation,
+    config,
+    pc_result,
+    phase: str = "pc",
+    dag_cursor: int = 0,
+    best_program=None,
+    best_selection_score: float = -1.0,
+    budget=None,
+) -> SynthesisCheckpoint:
+    """Assemble a journal entry from live synthesis state."""
+    from ..dsl import format_program
+
+    cpdag = pc_result.cpdag
+    return SynthesisCheckpoint(
+        phase=phase,
+        relation_token=relation_fingerprint(relation),
+        config_token=config_fingerprint(config),
+        cpdag_nodes=list(cpdag.nodes),
+        cpdag_directed=[list(e) for e in sorted(cpdag.directed_edges())],
+        cpdag_undirected=[list(e) for e in cpdag.undirected_edges()],
+        separating_sets=[
+            [sorted(pair), sorted(sepset)]
+            for pair, sepset in sorted(
+                pc_result.separating_sets.items(),
+                key=lambda item: sorted(item[0]),
+            )
+        ],
+        n_ci_tests=pc_result.n_ci_tests,
+        levels_run=pc_result.levels_run,
+        dag_cursor=dag_cursor,
+        best_program_text=(
+            format_program(best_program)
+            if best_program is not None and len(best_program)
+            else ""
+        ),
+        best_selection_score=best_selection_score,
+        budget_steps_spent=budget.steps if budget is not None else 0,
+        budget_seconds_spent=(
+            budget.elapsed() if budget is not None else 0.0
+        ),
+    )

@@ -46,6 +46,9 @@ class SynthesisResult:
     the program is the best found within the budget, not the optimum."""
     budget_notes: tuple[str, ...] = ()
     """Which phases were truncated and where (empty when complete)."""
+    resumed: bool = False
+    """True when this run continued from a journaled checkpoint
+    (``synthesize(resume_from=...)``) instead of starting fresh."""
 
     @property
     def total_time(self) -> float:
@@ -99,6 +102,11 @@ def synthesize(
     relation: Relation,
     config: GuardrailConfig | None = None,
     budget=None,
+    *,
+    warm_start=None,
+    fill_cache: FillCache | None = None,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> SynthesisResult:
     """Synthesize the optimal ε-valid program for a dataset (Alg. 2).
 
@@ -113,6 +121,34 @@ def synthesize(
     program found so far, flagged ``partial=True``.  The first candidate
     DAG is always concretized in full, so a budgeted run returns a
     usable program whenever the data admits one.
+
+    Parameters
+    ----------
+    warm_start:
+        A prior run's :class:`~repro.pgm.PCResult`: its skeleton seeds
+        PC's starting graph (PC then only prunes within it) and its
+        separating sets carry over, cutting CI tests when the structure
+        has not wholesale changed — the common case when the
+        self-healing loop re-synthesizes after drift.
+    fill_cache:
+        A caller-owned :class:`~repro.sketch.FillCache` shared across
+        runs; it is :meth:`~repro.sketch.FillCache.scope`-d to this
+        relation/config first, so stale entries never leak between
+        datasets.
+    checkpoint_path:
+        When set, synthesis state is journaled here (atomic writes):
+        once after structure learning and again after every fully
+        concretized DAG.  A killed process loses at most one DAG's
+        work.
+    resume_from:
+        A checkpoint path (or loaded
+        :class:`~repro.synth.SynthesisCheckpoint`) from a prior run on
+        the *same* data and config: structure learning is skipped and
+        enumeration continues past the journaled cursor.  With
+        deterministic enumeration and pure fills, the resumed result
+        equals the uninterrupted run's.  Raises
+        :class:`~repro.synth.CheckpointError` on a corrupt checkpoint
+        or a data/config mismatch.
     """
     config = config or GuardrailConfig()
     if budget is not None:
@@ -123,7 +159,15 @@ def synthesize(
         n_attributes=len(relation.schema),
         epsilon=config.epsilon,
     ) as run_span:
-        result = _synthesize(relation, config, budget)
+        result = _synthesize(
+            relation,
+            config,
+            budget,
+            warm_start=warm_start,
+            fill_cache=fill_cache,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+        )
         run_span.set(
             statements=len(result.program),
             dags=result.n_dags_enumerated,
@@ -135,11 +179,45 @@ def synthesize(
 
 
 def _synthesize(
-    relation: Relation, config: GuardrailConfig, budget=None
+    relation: Relation,
+    config: GuardrailConfig,
+    budget=None,
+    warm_start=None,
+    fill_cache: FillCache | None = None,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> SynthesisResult:
     """The span-free body of :func:`synthesize` (Alg. 2 proper)."""
     rng = np.random.default_rng(config.seed)
     timings: dict[str, float] = {}
+
+    checkpoint = None
+    if resume_from is not None:
+        from .checkpoint import (
+            CheckpointError,
+            SynthesisCheckpoint,
+            config_fingerprint,
+            relation_fingerprint,
+        )
+
+        checkpoint = (
+            resume_from
+            if isinstance(resume_from, SynthesisCheckpoint)
+            else SynthesisCheckpoint.load(resume_from)
+        )
+        if checkpoint.relation_token != relation_fingerprint(relation):
+            raise CheckpointError(
+                "checkpoint was journaled for different data than this "
+                "run's relation; refusing to resume (the result would "
+                "mix two datasets)"
+            )
+        if checkpoint.config_token != config_fingerprint(config):
+            raise CheckpointError(
+                "checkpoint was journaled under a different synthesis "
+                "config (seed/epsilon/learner/...); refusing to resume"
+            )
+        if obs.enabled():
+            obs.count("synth.resume")
 
     # Phase 1: sampling (auxiliary distribution by default, §4.6).
     start = time.perf_counter()
@@ -147,7 +225,8 @@ def _synthesize(
         codes, names = config.sampler.transform(relation, rng)
     timings["sampling"] = time.perf_counter() - start
 
-    # Phase 2: structure learning to the MEC (§4.4).
+    # Phase 2: structure learning to the MEC (§4.4).  A resumed run
+    # reuses the journaled pattern instead of re-running PC.
     start = time.perf_counter()
     with obs.span("synth.structure_learning", learner=config.learner):
         tester = CITester(
@@ -156,7 +235,9 @@ def _synthesize(
             alpha=config.alpha,
             min_samples_per_dof=config.min_samples_per_dof,
         )
-        if config.learner == "hc":
+        if checkpoint is not None:
+            pc_result = checkpoint.pc_result()
+        elif config.learner == "hc":
             # Score-based alternative: hill-climb a DAG, then take its
             # equivalence class (the CPDAG) so the rest of Alg. 2 is
             # shared.
@@ -173,17 +254,60 @@ def _synthesize(
                 tester,
                 max_condition_size=config.max_condition_size,
                 budget=budget,
+                initial_skeleton=(
+                    warm_start.cpdag if warm_start is not None else None
+                ),
+                initial_separating=(
+                    warm_start.separating_sets
+                    if warm_start is not None
+                    else None
+                ),
             )
     timings["structure_learning"] = time.perf_counter() - start
 
+    def journal(phase: str, cursor: int, program, score: float) -> None:
+        from .checkpoint import checkpoint_from_state
+
+        checkpoint_from_state(
+            relation,
+            config,
+            pc_result,
+            phase=phase,
+            dag_cursor=cursor,
+            best_program=program,
+            best_selection_score=score,
+            budget=budget,
+        ).save(checkpoint_path)
+        if obs.enabled():
+            obs.count("synth.checkpoint")
+
+    # Journal only states an uninterrupted run would also reach: a
+    # budget-truncated PC pass learned a different (denser) pattern, so
+    # nothing downstream of it may seed a resume either.
+    can_journal = checkpoint_path is not None and not pc_result.notes
+    if can_journal:
+        journal("pc", 0, None, -1.0)
+
     # Phase 3: MEC enumeration + sketch concretization (Alg. 2).
     start = time.perf_counter()
-    cache = FillCache()
+    if fill_cache is not None:
+        # A caller-owned cache shared across runs: flush entries filled
+        # against other data/parameters before trusting it.
+        cache = fill_cache.scope(
+            relation, config.epsilon, min_support=config.min_support
+        )
+    else:
+        cache = FillCache()
     stats = FillStats()
     judge = SketchJudge(tester) if config.prune_gnt else None
 
     best_program = Program.empty()
     best_coverage = -1.0
+    skip_dags = 0
+    if checkpoint is not None:
+        best_program = checkpoint.best_program()
+        best_coverage = checkpoint.best_selection_score
+        skip_dags = checkpoint.dag_cursor
     n_dags = 0
     # PC output on finite noisy data is not always a perfectly valid
     # CPDAG (conflicting v-structures); treat it as background knowledge
@@ -217,10 +341,22 @@ def _synthesize(
         for dag in enumerate_candidate_dags(
             pc_result.cpdag, max_dags=config.max_dags, budget=budget
         ):
+            if n_dags < skip_dags:
+                # Resume: this prefix of the deterministic enumeration
+                # was already concretized before the crash; its best
+                # survivor is seeded above.
+                n_dags += 1
+                continue
             # The first DAG concretizes in full even under an exhausted
             # budget (the partial-result guarantee); later DAGs respect
             # it and may stop mid-fill.
-            consider(dag, dag_budget=None if n_dags == 0 else budget)
+            dag_budget = None if n_dags == 0 else budget
+            consider(dag, dag_budget=dag_budget)
+            fill_complete = dag_budget is None or not dag_budget.exhausted()
+            if can_journal and fill_complete:
+                # A truncated fill is never journaled: the checkpoint
+                # must only hold states the uninterrupted run reaches.
+                journal("fill", n_dags, best_program, best_coverage)
             if budget is not None and n_dags > 0 and budget.exhausted():
                 budget.note(
                     f"enumeration: stopped after {n_dags} DAGs"
@@ -250,6 +386,7 @@ def _synthesize(
         timings=timings,
         partial=partial,
         budget_notes=tuple(budget.notes) if budget is not None else (),
+        resumed=checkpoint is not None,
     )
 
 
@@ -378,6 +515,29 @@ class Guardrail:
             n_dags_enumerated=0,
             fill_stats=FillStats(),
         )
+        return guard
+
+    @classmethod
+    def from_result(
+        cls,
+        result: SynthesisResult,
+        config: GuardrailConfig | None = None,
+    ) -> "Guardrail":
+        """Wrap an existing :class:`SynthesisResult` as a guardrail.
+
+        The self-healing loop synthesizes candidates via
+        :func:`synthesize` directly (to thread budgets, warm starts and
+        fill caches) and then promotes the winner with this — keeping
+        the full diagnostics (PC result, timings) that
+        :meth:`from_program` discards, so the *next* heal can warm-start
+        from this run's skeleton.
+        """
+        if not isinstance(result, SynthesisResult):
+            raise GuardrailLoadError(
+                f"expected a SynthesisResult, got {type(result).__name__}"
+            )
+        guard = cls(config)
+        guard._result = result
         return guard
 
     @classmethod

@@ -1,0 +1,184 @@
+"""Crash-safe synthesis: checkpoints, resume, and warm starts.
+
+The invariant under test: a run killed by budget exhaustion, resumed
+via ``synthesize(resume_from=checkpoint)``, produces a program
+**equivalent to the uninterrupted run** under the same seed — the
+journal only ever records states an uninterrupted run also reaches.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience import Budget
+from repro.sketch import FillCache
+from repro.synth import (
+    CheckpointError,
+    GuardrailConfig,
+    SynthesisCheckpoint,
+    relation_fingerprint,
+    synthesize,
+)
+
+
+def _uninterrupted_steps(relation) -> int:
+    """Total budget steps a full run on ``relation`` spends."""
+    budget = Budget(max_steps=10_000_000)
+    synthesize(relation, budget=budget)
+    return budget.steps
+
+
+class TestCheckpointFile:
+    def test_journal_written_and_loadable(self, tmp_path, city_relation):
+        path = tmp_path / "synth.json"
+        result = synthesize(city_relation, checkpoint_path=path)
+        assert not result.partial
+        checkpoint = SynthesisCheckpoint.load(path)
+        assert checkpoint.relation_token == relation_fingerprint(
+            city_relation
+        )
+        assert checkpoint.phase == "fill"
+        assert checkpoint.dag_cursor >= 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such|missing"):
+            SynthesisCheckpoint.load(tmp_path / "nope.json")
+
+    def test_corrupt_payload(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            SynthesisCheckpoint.load(path)
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError):
+            SynthesisCheckpoint.load(path)
+
+    def test_wrong_format_version(self, tmp_path, city_relation):
+        path = tmp_path / "synth.json"
+        synthesize(city_relation, checkpoint_path=path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            SynthesisCheckpoint.load(path)
+
+    def test_resume_rejects_other_relation(
+        self, tmp_path, city_relation, chain_relation
+    ):
+        path = tmp_path / "synth.json"
+        synthesize(city_relation, checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="relation"):
+            synthesize(chain_relation, resume_from=path)
+
+    def test_resume_rejects_other_config(self, tmp_path, city_relation):
+        path = tmp_path / "synth.json"
+        synthesize(city_relation, checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="config"):
+            synthesize(
+                city_relation,
+                GuardrailConfig(epsilon=0.3),
+                resume_from=path,
+            )
+
+
+class TestCrashSafety:
+    def test_resume_equals_uninterrupted_run(self, tmp_path, city_relation):
+        """The acceptance criterion: kill mid-run, resume, same program."""
+        full = synthesize(city_relation)
+        total_steps = _uninterrupted_steps(city_relation)
+        assert total_steps > 1
+
+        path = tmp_path / "synth.json"
+        killed = synthesize(
+            city_relation,
+            budget=Budget(max_steps=total_steps - 1),
+            checkpoint_path=path,
+        )
+        assert killed.partial
+        assert path.exists(), "no checkpoint survived the kill"
+
+        resumed = synthesize(city_relation, resume_from=path)
+        assert resumed.resumed
+        assert not resumed.partial
+        assert resumed.program == full.program
+        assert resumed.coverage == full.coverage
+
+    def test_resume_skips_structure_learning(self, tmp_path, city_relation):
+        path = tmp_path / "synth.json"
+        synthesize(city_relation, checkpoint_path=path)
+        resumed = synthesize(city_relation, resume_from=path)
+        # The journaled PC result is reused verbatim; no CI tests rerun.
+        full = synthesize(city_relation)
+        assert resumed.pc_result.cpdag.skeleton() == (
+            full.pc_result.cpdag.skeleton()
+        )
+        assert resumed.program == full.program
+
+    def test_resume_accepts_loaded_checkpoint_object(
+        self, tmp_path, city_relation
+    ):
+        path = tmp_path / "synth.json"
+        synthesize(city_relation, checkpoint_path=path)
+        checkpoint = SynthesisCheckpoint.load(path)
+        resumed = synthesize(city_relation, resume_from=checkpoint)
+        assert resumed.resumed
+
+    def test_truncated_pc_is_never_journaled(self, tmp_path, city_relation):
+        """A checkpoint must only hold states an uninterrupted run
+        reaches: a budget-truncated skeleton is not one."""
+        path = tmp_path / "synth.json"
+        result = synthesize(
+            city_relation,
+            budget=Budget(max_steps=2),  # dies inside PC
+            checkpoint_path=path,
+        )
+        assert result.partial
+        assert not path.exists()
+
+
+class TestWarmStart:
+    def test_warm_start_reproduces_program(self, city_relation):
+        cold = synthesize(city_relation)
+        warm = synthesize(city_relation, warm_start=cold.pc_result)
+        assert warm.program == cold.program
+
+    def test_warm_start_spends_fewer_ci_steps(self, city_relation):
+        cold_budget = Budget(max_steps=10_000_000)
+        cold = synthesize(city_relation, budget=cold_budget)
+        warm_budget = Budget(max_steps=10_000_000)
+        synthesize(
+            city_relation, budget=warm_budget, warm_start=cold.pc_result
+        )
+        cold_ci = cold_budget.spent_by_kind.get("pc.ci_test", 0)
+        warm_ci = warm_budget.spent_by_kind.get("pc.ci_test", 0)
+        assert warm_ci <= cold_ci
+
+
+class TestFillCacheScope:
+    def test_cache_is_reused_within_scope(self, city_relation):
+        cache = FillCache()
+        first = synthesize(city_relation, fill_cache=cache)
+        assert cache.invalidations == 0
+        entries = dict(cache.entries)
+        second = synthesize(city_relation, fill_cache=cache)
+        # Identical context: nothing flushed, entries served as-is.
+        assert cache.invalidations == 0
+        assert cache.entries == entries
+        assert second.program == first.program
+
+    def test_scope_change_invalidates(self, city_relation, chain_relation):
+        cache = FillCache()
+        synthesize(city_relation, fill_cache=cache)
+        synthesize(chain_relation, fill_cache=cache)
+        assert cache.invalidations == 1
+
+    def test_epsilon_change_invalidates(self, city_relation):
+        cache = FillCache()
+        cache.scope(city_relation, epsilon=0.1)
+        cache.scope(city_relation, epsilon=0.1)
+        assert cache.invalidations == 0
+        cache.scope(city_relation, epsilon=0.2)
+        assert cache.invalidations == 1

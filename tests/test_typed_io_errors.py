@@ -1,13 +1,17 @@
 """Typed error paths for CSV loading and guardrail persistence.
 
-Satellites of the resilience PR: :class:`RelationIOError` (with row
-numbers) for malformed CSV payloads, and :class:`GuardrailLoadError`
-for corrupt/truncated guardrail files.
+Satellites of the resilience PRs: :class:`RelationIOError` (with row
+numbers) for malformed CSV payloads, :class:`GuardrailLoadError` for
+corrupt/truncated guardrail files, and the hot-swap paths
+(:meth:`GuardrailVersions.swap_from_file`,
+:meth:`QueryExecutor.swap_guardrail`) which must surface the same typed
+error while keeping the previous version live.
 """
 
 import pytest
 
 from repro.relation import RelationError, RelationIOError, from_csv_text
+from repro.resilience import GuardrailVersions
 from repro.synth import Guardrail, GuardrailLoadError
 
 
@@ -104,3 +108,83 @@ class TestGuardrailLoadError:
     def test_from_program_rejects_non_program(self):
         with pytest.raises(GuardrailLoadError, match="Program"):
             Guardrail.from_program({"not": "a program"})
+
+
+class TestHotSwapLoadError:
+    """A corrupt file offered mid-swap must not take down the old guard."""
+
+    def _versions(self, city_program) -> GuardrailVersions:
+        return GuardrailVersions(Guardrail.from_program(city_program))
+
+    def test_swap_from_corrupt_file_is_typed(self, tmp_path, city_program):
+        versions = self._versions(city_program)
+        bad = tmp_path / "corrupt.grd"
+        bad.write_text("if City = then <- garbage ???")
+        with pytest.raises(GuardrailLoadError):
+            versions.swap_from_file(bad)
+
+    def test_previous_version_stays_live_after_failed_swap(
+        self, tmp_path, city_program
+    ):
+        versions = self._versions(city_program)
+        bad = tmp_path / "corrupt.grd"
+        bad.write_text("not a program at all }{")
+        with pytest.raises(GuardrailLoadError):
+            versions.swap_from_file(bad)
+        assert versions.version == 1
+        assert versions.program == city_program
+        # The live guard keeps vetting rows with the old program.
+        row = {
+            "PostalCode": "94704",
+            "City": "Berkeley",
+            "State": "CA",
+            "Country": "USA",
+        }
+        assert versions.row_guard().check(row).ok
+
+    def test_swap_from_missing_file(self, tmp_path, city_program):
+        versions = self._versions(city_program)
+        with pytest.raises(GuardrailLoadError, match="no such"):
+            versions.swap_from_file(tmp_path / "nope.grd")
+        assert versions.version == 1
+
+    def test_swap_rejects_non_guardrail_object(self, city_program):
+        versions = self._versions(city_program)
+        with pytest.raises(GuardrailLoadError):
+            versions.swap({"not": "a guardrail"})
+        assert versions.version == 1
+
+    def test_good_swap_still_bumps_version(self, tmp_path, city_program):
+        versions = self._versions(city_program)
+        path = tmp_path / "good.grd"
+        Guardrail.from_program(city_program).save(path)
+        versions.swap_from_file(path)
+        assert versions.version == 2
+
+    def test_executor_swap_guardrail_corrupt_file(
+        self, tmp_path, city_relation, city_program
+    ):
+        from repro.sql.executor import QueryExecutor
+
+        executor = QueryExecutor(
+            {"t": city_relation},
+            guardrail=Guardrail.from_program(city_program),
+        )
+        bad = tmp_path / "corrupt.grd"
+        bad.write_text("?? definitely not DSL ??")
+        before = executor.guardrail
+        with pytest.raises(GuardrailLoadError):
+            executor.swap_guardrail(bad)
+        assert executor.guardrail is before
+
+    def test_executor_swap_guardrail_rejects_garbage_object(
+        self, city_relation, city_program
+    ):
+        from repro.sql.executor import QueryExecutor
+
+        executor = QueryExecutor(
+            {"t": city_relation},
+            guardrail=Guardrail.from_program(city_program),
+        )
+        with pytest.raises(GuardrailLoadError):
+            executor.swap_guardrail(42)
