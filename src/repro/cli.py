@@ -21,6 +21,11 @@ program), ``--checkpoint PATH`` journals crash-safe synthesis state
 there, and ``--resume PATH`` continues from such a journal;
 ``rectify --guard-policy`` and ``chaos --guard-policy`` select a
 :class:`repro.resilience.GuardPolicy` degradation mode.
+
+``synthesize``, ``check``, ``rectify``, and ``drift`` accept
+``--workers N`` to fork N worker processes for the heavy phases
+(``0`` = one per CPU core); results are bit-identical to a serial run
+(:mod:`repro.parallel`, ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -58,10 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="record a JSONL observability trace of this run",
         )
 
+    def add_workers_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="fork N worker processes for the heavy phases "
+            "(0 = one per CPU core, default 1 = serial); results are "
+            "bit-identical to a serial run",
+        )
+
     synth = sub.add_parser(
         "synthesize", help="synthesize a DSL program from a CSV file"
     )
     add_trace_flag(synth)
+    add_workers_flag(synth)
     synth.add_argument("csv", type=Path, help="input data (CSV with header)")
     synth.add_argument(
         "-o", "--output", type=Path, help="write the program here"
@@ -103,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="report rows of a CSV violating a saved program"
     )
     add_trace_flag(check)
+    add_workers_flag(check)
     check.add_argument("program", type=Path, help="saved DSL program")
     check.add_argument("csv", type=Path, help="data to vet")
     check.add_argument(
@@ -114,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rectify", help="repair a CSV against a saved program"
     )
     add_trace_flag(rectify)
+    add_workers_flag(rectify)
     rectify.add_argument("program", type=Path)
     rectify.add_argument("csv", type=Path)
     rectify.add_argument(
@@ -222,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.resilience.drift)",
     )
     add_trace_flag(drift)
+    add_workers_flag(drift)
     drift.add_argument(
         "train", type=Path, help="training data the guard was fit on"
     )
@@ -269,6 +286,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             relation,
             config,
             budget=budget,
+            workers=args.workers,
             checkpoint_path=args.checkpoint,
             resume_from=args.resume,
         )
@@ -305,7 +323,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     program = parse_program(args.program.read_text(encoding="utf-8"))
     relation = read_csv(args.csv)
-    result = detect_errors(program, relation)
+    result = detect_errors(program, relation, pool=args.workers)
     print(
         f"{result.n_flagged_rows} of {relation.n_rows} rows violate "
         f"the constraints"
@@ -322,6 +340,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_rectify(args: argparse.Namespace) -> int:
+    import functools
+
     from .errors import DataIntegrityError
     from .resilience import GuardPolicy, resilient_call
 
@@ -329,7 +349,7 @@ def _cmd_rectify(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
     policy = GuardPolicy.parse(args.guard_policy)
     outcome = resilient_call(
-        apply_strategy,
+        functools.partial(apply_strategy, pool=args.workers),
         program,
         relation,
         args.strategy,
@@ -526,12 +546,23 @@ def _cmd_drift(args: argparse.Namespace) -> int:
             f"version {supervisor.version}"
         )
     else:
-        row_guard = guard.row_guard()
-        row_guard.attach_drift(detector)
-        flagged = sum(
-            0 if row_guard.check(row).ok else 1
-            for row in stream.iter_rows()
-        )
+        from .parallel import as_pool
+
+        pool = as_pool(args.workers)
+        if pool is not None and pool.parallel:
+            # Batch path: sharded detection + window-parallel drift
+            # scan; verdicts, alerts, and stats are bit-identical to
+            # the row-at-a-time loop below.
+            mask = guard.check(stream, pool=pool)
+            detector.scan(stream, ~mask, pool=pool)
+            flagged = int(mask.sum())
+        else:
+            row_guard = guard.row_guard()
+            row_guard.attach_drift(detector)
+            flagged = sum(
+                0 if row_guard.check(row).ok else 1
+                for row in stream.iter_rows()
+            )
         detector.flush()
         alerts = detector.poll()
         print(render_drift_report(alerts, detector.stats))

@@ -20,6 +20,7 @@ trace.jsonl`` then ``python -m repro obs report trace.jsonl``.
 """
 
 from .report import (
+    ObsReport,
     SpanNode,
     aggregate_counters,
     aggregate_histograms,
@@ -29,6 +30,7 @@ from .report import (
     render_metrics,
     render_report,
     render_span_tree,
+    worker_ids,
 )
 from .sinks import (
     JsonlSink,
@@ -45,6 +47,7 @@ from .trace import (
     current_sink,
     disable,
     enabled,
+    merge_events,
     observe,
     record,
     span,
@@ -64,6 +67,7 @@ __all__ = [
     "disable",
     "enabled",
     "current_sink",
+    "merge_events",
     "SpanHandle",
     # sinks
     "Sink",
@@ -73,6 +77,8 @@ __all__ = [
     "read_jsonl",
     "iter_events",
     # report
+    "ObsReport",
+    "worker_ids",
     "SpanNode",
     "build_span_tree",
     "render_span_tree",

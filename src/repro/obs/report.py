@@ -235,6 +235,93 @@ def render_drift_dashboard(events: Iterable[dict]) -> str:
     return "\n".join(lines)
 
 
+def worker_ids(events: Iterable[dict]) -> tuple[int, ...]:
+    """Distinct worker pids whose merged events appear in a trace.
+
+    Events re-emitted by :func:`repro.obs.merge_events` carry a
+    ``worker`` tag; an empty tuple means the trace is single-process.
+    """
+    return tuple(
+        sorted(
+            {
+                int(event["worker"])
+                for event in events
+                if "worker" in event
+            }
+        )
+    )
+
+
+@dataclass
+class ObsReport:
+    """A trace aggregated into one queryable object (the merged view).
+
+    Where the ``render_*`` functions format text, ``ObsReport`` exposes
+    the same aggregates — counters, histogram samples, the span tree —
+    as data, *including* every event merged back from forked workers
+    (:func:`repro.obs.merge_events`), so a counter incremented across
+    four worker processes reads as one total here.
+
+    >>> with obs.tracing() as sink:
+    ...     detect_errors(program, relation, pool=4)
+    >>> report = ObsReport.from_events(sink.events)
+    >>> report.counter("dsl.kernel.eval")     # summed across workers
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, list[float]] = field(default_factory=dict)
+    span_tree: SpanNode = field(
+        default_factory=lambda: SpanNode(name="<root>", path="")
+    )
+    workers: tuple[int, ...] = ()
+    n_events: int = 0
+
+    @classmethod
+    def from_events(
+        cls, source: "Iterable[dict] | str | Path"
+    ) -> "ObsReport":
+        """Aggregate a trace file, sink, or event list."""
+        events = iter_events(source)
+        return cls(
+            counters=aggregate_counters(events),
+            histograms=aggregate_histograms(events),
+            span_tree=build_span_tree(events),
+            workers=worker_ids(events),
+            n_events=len(events),
+        )
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Total of one counter across every process that emitted it."""
+        return self.counters.get(name, default)
+
+    @property
+    def n_workers(self) -> int:
+        """Worker processes that contributed merged events (0 = serial)."""
+        return len(self.workers)
+
+    def render(self) -> str:
+        """The metrics section of the text report, plus the worker line."""
+        lines = []
+        if self.workers:
+            lines.append(
+                f"  merged events from {self.n_workers} worker "
+                f"process(es): {list(self.workers)}"
+            )
+        body = render_metrics(
+            [
+                {"type": "counter", "name": name, "value": value}
+                for name, value in self.counters.items()
+            ]
+            + [
+                {"type": "observe", "name": name, "value": value}
+                for name, values in self.histograms.items()
+                for value in values
+            ]
+        )
+        lines.append(body)
+        return "\n".join(lines)
+
+
 def render_report(source: "Iterable[dict] | str | Path") -> str:
     """Full report from a trace file, sink, or event list."""
     events = iter_events(source)
@@ -245,6 +332,12 @@ def render_report(source: "Iterable[dict] | str | Path") -> str:
         ("Drift & self-healing", render_drift_dashboard(events)),
     ]
     parts = [f"trace: {len(events)} events"]
+    workers = worker_ids(events)
+    if workers:
+        parts.append(
+            f"workers: merged events from {len(workers)} forked "
+            f"process(es)"
+        )
     for title, body in sections:
         parts.append(f"\n{title}\n{'-' * len(title)}\n{body}")
     return "\n".join(parts)

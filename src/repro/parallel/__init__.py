@@ -1,0 +1,45 @@
+"""Sharded multicore execution for synthesis and detection.
+
+The hot paths of the reproduction — compiled detection, PC's level-wise
+CI tests, Algorithm 2's per-DAG sketch fill, and drift-window statistics
+— are embarrassingly parallel over row shards or independent work items.
+This package provides the one primitive they all share:
+:class:`WorkerPool`, a fork-based ``multiprocessing`` pool with
+
+* **shared-memory numpy partitions**: workers are forked, so relation
+  code arrays (and any other shared state) are inherited copy-on-write
+  — nothing large is ever pickled;
+* **a serial fallback**: ``workers=1``, a platform without ``fork``, or
+  a nested pool all run the same task functions inline, so every call
+  site has exactly one code path;
+* **obs merging**: when tracing is enabled, each worker's counters,
+  histograms, and spans are captured per task and re-emitted into the
+  parent's sink (tagged with the worker pid), so ``repro obs report``
+  stays truthful under parallelism.
+
+Results are **bit-identical to the serial path at any worker count**:
+every fan-out in the repo reduces in deterministic (shard/item) order
+and the per-item work is pure, so parallelism changes wall-clock only.
+See ``docs/PERFORMANCE.md`` for the performance model.
+"""
+
+from .pool import (
+    WorkerPool,
+    as_pool,
+    fork_available,
+    get_shared,
+    in_worker,
+    resolve_workers,
+)
+from .shard import shard_bounds, shard_relation
+
+__all__ = [
+    "WorkerPool",
+    "as_pool",
+    "fork_available",
+    "get_shared",
+    "in_worker",
+    "resolve_workers",
+    "shard_bounds",
+    "shard_relation",
+]

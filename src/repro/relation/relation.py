@@ -297,6 +297,23 @@ class Relation:
         """The first ``n`` rows as a new relation."""
         return self.take(np.arange(min(n, self._n_rows)))
 
+    def slice_rows(self, start: int, stop: int) -> "Relation":
+        """A contiguous row range ``[start, stop)`` as a zero-copy view.
+
+        Unlike :meth:`take`, the column arrays of the result are numpy
+        basic slices *sharing memory* with this relation — the substrate
+        of :mod:`repro.parallel`'s horizontal sharding, where forked
+        workers read the parent's pages copy-on-write.  Treat the result
+        as read-only, as the immutable-by-convention contract demands.
+        """
+        if not 0 <= start <= stop <= self._n_rows:
+            raise RelationError(
+                f"slice [{start}, {stop}) out of range for "
+                f"{self._n_rows} rows"
+            )
+        columns = {n: arr[start:stop] for n, arr in self._columns.items()}
+        return Relation(self._schema, columns, self._codecs)
+
     def with_column(
         self,
         name: str,

@@ -282,6 +282,77 @@ class DriftDetector:
         else:
             self.ingest_many(rows[start::k], oks[start::k])
 
+    def scan(self, relation: Relation, oks: Sequence[bool], pool=None) -> None:
+        """Feed a whole vetted relation through the detector in one call.
+
+        Exactly equivalent to the row-at-a-time loop
+
+        >>> for i in range(relation.n_rows):        # doctest: +SKIP
+        ...     detector.observe(relation.row(i), bool(oks[i]))
+
+        — the 1-in-k countdown carries in and out, windows evaluate at
+        exactly ``window`` sampled rows, and the unevaluated tail stays
+        buffered — but only sampled rows are ever decoded, and the
+        per-window counting fans out across a
+        :class:`repro.parallel.WorkerPool` (``pool``: a pool, a worker
+        count, or ``None``).  Windows reduce in stream order in the
+        parent process, so alerts, EWMA trajectory, and stats are
+        bit-identical to the serial scan at any worker count.
+        """
+        from ..parallel import as_pool
+
+        n = relation.n_rows
+        if len(oks) != n:
+            raise ValueError(
+                f"oks has {len(oks)} entries for {n} rows"
+            )
+        if n == 0:
+            return
+        k = self.sample_every
+        start = self._tick - 1
+        if start >= n:
+            self._tick -= n
+            return
+        last = start + ((n - 1 - start) // k) * k
+        self._tick = last + k - n + 1
+        sampled = np.arange(start, n, k)
+        oks = np.asarray(oks, dtype=bool)
+        pool = as_pool(pool)
+
+        def feed(indices: np.ndarray) -> None:
+            self.ingest_many(
+                [relation.row(int(i)) for i in indices],
+                list(oks[indices]),
+            )
+
+        # The partially-filled buffer (rows from earlier observe/ingest
+        # calls) completes its window serially; every later boundary is
+        # then window-aligned over the sampled indices.
+        buffered = len(self._rows)
+        cursor = 0
+        if buffered:
+            cursor = min(sampled.size, self.window - buffered)
+            feed(sampled[:cursor])
+        n_groups = (sampled.size - cursor) // self.window
+        groups = [
+            sampled[cursor + g * self.window : cursor + (g + 1) * self.window]
+            for g in range(n_groups)
+        ]
+        if pool is not None and pool.parallel and n_groups > 1:
+            results = pool.imap(
+                _scan_window_job,
+                list(range(n_groups)),
+                shared=(self, relation, groups),
+            )
+            for group, counts in zip(groups, results):
+                self._reduce_window(counts, list(oks[group]))
+        else:
+            for group in groups:
+                feed(group)
+        tail = sampled[cursor + n_groups * self.window :]
+        if tail.size:
+            feed(tail)
+
     def flush(self) -> None:
         """Evaluate whatever is buffered (e.g. at end-of-stream).
 
@@ -359,14 +430,28 @@ class DriftDetector:
         """Run every detector over the buffered window; queue alerts."""
         rows, self._rows = self._rows, []
         oks, self._oks = self._oks, []
-        n = len(rows)
+        self._reduce_window(self._window_counts(rows), oks)
+
+    def _reduce_window(
+        self,
+        per_attribute_counts: Mapping[str, Counter],
+        oks: Sequence[bool],
+    ) -> None:
+        """Reduce one window's (pre-computed) counts into detector state.
+
+        The counting half (:meth:`_window_counts`) is pure and runs in
+        workers during a parallel :meth:`scan`; everything stateful —
+        EWMA, stats, alert queueing — funnels through here, in window
+        order, in the parent process.
+        """
+        n = len(oks)
         self._update_ewma(oks)
         self.stats.rows_observed += n
         self.stats.windows_evaluated += 1
         traced = obs.enabled()
         if traced:
             obs.count("drift.window")
-        for attribute, counts in self._window_counts(rows).items():
+        for attribute, counts in per_attribute_counts.items():
             ref = self._references[attribute]
             counts.pop(None, None)
             seen_total = sum(counts.values())
@@ -547,6 +632,21 @@ class DriftDetector:
                 statistic=alert.statistic,
                 threshold=alert.threshold,
             )
+
+
+def _scan_window_job(index: int) -> dict[str, Counter]:
+    """Worker task: decode + count one sampled window of a parallel
+    :meth:`DriftDetector.scan`.
+
+    Reads the fork-inherited ``(detector, relation, groups)`` tuple and
+    returns the pure per-attribute value counts; the parent reduces
+    them in stream order, so no detector state mutates here.
+    """
+    from ..parallel import get_shared
+
+    detector, relation, groups = get_shared()
+    rows = [relation.row(int(i)) for i in groups[index]]
+    return detector._window_counts(rows)
 
 
 def _program_attributes(program) -> list[str]:

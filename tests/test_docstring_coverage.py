@@ -6,7 +6,11 @@ from pathlib import Path
 TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
 sys.path.insert(0, str(TOOLS_DIR))
 
-from check_docstrings import find_violations  # noqa: E402
+from check_docstrings import (  # noqa: E402
+    DOCUMENTED_SUBSYSTEMS,
+    find_undocumented_subsystems,
+    find_violations,
+)
 
 
 def test_public_api_is_fully_documented():
@@ -15,4 +19,13 @@ def test_public_api_is_fully_documented():
         f"{len(violations)} public definition(s) missing docstrings "
         f"(run `python tools/check_docstrings.py` for the list):\n"
         + "\n".join(f"  {v}" for v in violations)
+    )
+
+
+def test_every_subsystem_has_an_api_section():
+    assert "parallel" in DOCUMENTED_SUBSYSTEMS
+    missing = find_undocumented_subsystems()
+    assert not missing, (
+        "subsystem(s) missing their `## repro.<name>` section in "
+        "docs/API.md:\n" + "\n".join(f"  {m}" for m in missing)
     )

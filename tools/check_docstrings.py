@@ -7,9 +7,14 @@ docstring — the documented-on-day-one policy backing ``docs/API.md``.
 dunder methods and nested (local) functions are exempt, as are
 ``@overload`` stubs and trivial ``...``-bodied protocol members.
 
+A second gate keeps ``docs/API.md`` honest: every subsystem in
+:data:`DOCUMENTED_SUBSYSTEMS` must have its own ``## repro.<name>``
+section there, so a new package (e.g. ``repro.parallel``) cannot land
+without reference documentation.
+
 Run directly (``python tools/check_docstrings.py``) for a report and a
 non-zero exit on violations; ``tests/test_docstring_coverage.py`` wires
-the same check into the default pytest run.
+the same checks into the default pytest run.
 """
 
 from __future__ import annotations
@@ -20,6 +25,27 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+API_DOC = REPO_ROOT / "docs" / "API.md"
+
+DOCUMENTED_SUBSYSTEMS = (
+    "relation",
+    "dsl",
+    "sketch",
+    "pgm",
+    "sampler",
+    "synth",
+    "errors",
+    "sql",
+    "ml",
+    "obs",
+    "resilience",
+    "parallel",
+)
+"""Subsystem packages that must each have a ``## repro.<name>`` section
+in ``docs/API.md``.  An explicit list, not a directory walk: some
+packages (datasets, experiments, baselines, metrics) are evaluation
+scaffolding documented through PAPER.md and ``benchmarks/README.md``
+instead."""
 
 
 def _is_public(name: str) -> bool:
@@ -100,17 +126,55 @@ def find_violations(root: Path = PACKAGE_ROOT) -> list[str]:
     return violations
 
 
+def find_undocumented_subsystems(doc_path: Path = API_DOC) -> list[str]:
+    """Subsystems of :data:`DOCUMENTED_SUBSYSTEMS` without an API section.
+
+    A subsystem counts as documented when ``docs/API.md`` has a
+    second-level heading starting ``## repro.<name>`` (a trailing
+    description after an em-dash is fine) *and* the package exists.
+    """
+    missing: list[str] = []
+    text = doc_path.read_text(encoding="utf-8") if doc_path.exists() else ""
+    headings = {
+        line[3:].split()[0].rstrip(":")
+        for line in text.splitlines()
+        if line.startswith("## ")
+    }
+    for subsystem in DOCUMENTED_SUBSYSTEMS:
+        package = PACKAGE_ROOT / subsystem
+        if not (package / "__init__.py").exists() and not (
+            PACKAGE_ROOT / f"{subsystem}.py"
+        ).exists():
+            missing.append(f"repro.{subsystem}: package does not exist")
+        elif f"repro.{subsystem}" not in headings:
+            missing.append(
+                f"repro.{subsystem}: no '## repro.{subsystem}' section "
+                f"in {doc_path.relative_to(REPO_ROOT)}"
+            )
+    return missing
+
+
 def main() -> int:
     """CLI entry: print violations, exit 1 when any exist."""
     violations = find_violations()
+    undocumented = find_undocumented_subsystems()
     if violations:
         print(
             f"{len(violations)} public definition(s) missing docstrings:"
         )
         for violation in violations:
             print(f"  {violation}")
+    if undocumented:
+        print(f"{len(undocumented)} subsystem(s) missing API docs:")
+        for entry in undocumented:
+            print(f"  {entry}")
+    if violations or undocumented:
         return 1
     print("docstring coverage: 100% of the public API")
+    print(
+        f"API docs: all {len(DOCUMENTED_SUBSYSTEMS)} subsystems have "
+        f"sections in {API_DOC.relative_to(REPO_ROOT)}"
+    )
     return 0
 
 
