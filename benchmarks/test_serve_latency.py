@@ -1,0 +1,179 @@
+"""Serving-layer latency/throughput — the ``repro.serve`` cost model.
+
+Drives ``GuardServer`` with a closed-loop workload (N tenants x M
+concurrent clients per tenant, each submitting a fixed number of
+``check`` requests) and records the request-latency percentiles the
+micro-batcher produces plus end-to-end throughput.  The interesting
+number is the p95: a request admitted first into an empty batch waits
+up to ``max_wait_ms`` for co-riders, so p95 should sit near
+``max_wait_ms`` plus one batch-kernel flush — far below N serial
+per-row checks.
+
+Each run also records its measurements against ``BENCH_serve.json``
+(``{"baseline": {...}, "trajectory": [...]}``, the layout
+``benchmarks/README.md`` documents); set ``REPRO_UPDATE_BENCH=1`` to
+rewrite the baseline on a quiet machine.
+"""
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import banner
+from repro.pgm import DAG, random_sem, sem_to_program
+from repro.serve import GuardServer, ServeStatus, TenantConfig
+from repro.synth import Guardrail
+
+_TENANTS = 4
+_CLIENTS = 16
+_REQUESTS = int(os.environ.get("REPRO_SERVE_REQUESTS", "250"))
+_BASELINE = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A 6-attribute chain guardrail plus a clean request stream."""
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    names = [f"a{i}" for i in range(6)]
+    dag = DAG(
+        names, [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+    )
+    sem = random_sem(dag, cardinalities=4, determinism=1.0, rng=rng)
+    relation = sem.sample(4096, rng)
+    program = sem_to_program(sem, relation)
+    rows = list(relation.iter_rows())
+    return program, rows
+
+
+async def _drive(server: GuardServer, names, rows) -> int:
+    """Closed-loop clients; returns the number of completed requests."""
+    completed = 0
+
+    async def client(tenant: str, client_index: int) -> int:
+        done = 0
+        for j in range(_REQUESTS):
+            row = rows[(client_index * _REQUESTS + j) % len(rows)]
+            response = await server.check(tenant, row)
+            while response.status is ServeStatus.REJECTED:
+                await asyncio.sleep(response.retry_after)
+                response = await server.check(tenant, row)
+            assert response.ok
+            done += 1
+        return done
+
+    async with server:
+        results = await asyncio.gather(
+            *(
+                client(name, k)
+                for name in names
+                for k in range(_CLIENTS)
+            )
+        )
+    completed = sum(results)
+    return completed
+
+
+def _measure(program, rows) -> dict:
+    server = GuardServer()
+    names = [f"tenant-{i}" for i in range(_TENANTS)]
+    for name in names:
+        server.register(
+            name,
+            Guardrail.from_program(program),
+            TenantConfig(max_batch=64, max_wait_ms=2.0),
+        )
+    start = time.perf_counter()
+    completed = asyncio.run(_drive(server, names, rows))
+    elapsed = time.perf_counter() - start
+    assert completed == _TENANTS * _CLIENTS * _REQUESTS
+
+    snapshots = [server.tenant(name).metrics for name in names]
+    p50 = max(m.percentile_ms(0.50) for m in snapshots)
+    p95 = max(m.percentile_ms(0.95) for m in snapshots)
+    fill = sum(m.rows_flushed for m in snapshots) / max(
+        1, sum(m.batches for m in snapshots)
+    )
+    return {
+        "tenants": _TENANTS,
+        "clients_per_tenant": _CLIENTS,
+        "requests_per_client": _REQUESTS,
+        "completed": completed,
+        "throughput_rps": completed / elapsed,
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "mean_batch_fill": fill,
+        "wall_s": elapsed,
+    }
+
+
+def _record_baseline(measurements: dict) -> str:
+    """Compare against (or rewrite) the committed baseline file."""
+    payload = (
+        json.loads(_BASELINE.read_text()) if _BASELINE.exists() else {}
+    )
+    if os.environ.get("REPRO_UPDATE_BENCH") == "1" or not payload:
+        payload["baseline"] = measurements
+        payload.setdefault("trajectory", [])
+        _BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        return f"baseline written to {_BASELINE.name}"
+    baseline = payload["baseline"]
+    lines = []
+    for key in ("throughput_rps", "p50_ms", "p95_ms"):
+        reference = baseline.get(key)
+        if isinstance(reference, (int, float)) and reference:
+            value = measurements[key]
+            lines.append(
+                f"{key}: {value:.2f} (baseline {reference:.2f}, "
+                f"{value / reference:+.1%} of reference)"
+            )
+    return "vs committed baseline:\n  " + "\n  ".join(lines)
+
+
+def test_serve_latency_and_throughput(workload):
+    program, rows = workload
+    measurements = _measure(program, rows)
+
+    banner(
+        "Serving layer latency/throughput",
+        "\n".join(
+            [
+                f"{_TENANTS} tenants x {_CLIENTS} clients x "
+                f"{_REQUESTS} requests (closed loop)",
+                f"throughput   {measurements['throughput_rps']:10.0f} req/s",
+                f"p50 latency  {measurements['p50_ms']:10.2f} ms",
+                f"p95 latency  {measurements['p95_ms']:10.2f} ms",
+                f"batch fill   {measurements['mean_batch_fill']:10.1f} "
+                "rows/flush",
+            ]
+        )
+        + "\n"
+        + _record_baseline(measurements),
+    )
+
+    # Micro-batching must actually coalesce under concurrent load —
+    # a fill near 1 means the batcher is flushing per request and the
+    # serving layer is just expensive ceremony.
+    assert measurements["mean_batch_fill"] >= 2.0
+    # The latency bound the config promises: one max_wait window plus
+    # generous flush/scheduling headroom.
+    assert measurements["p95_ms"] < 250.0
+
+
+def test_committed_baseline_exists():
+    """The committed record must hold a plausible serving baseline."""
+    payload = json.loads(_BASELINE.read_text())
+    baseline = payload["baseline"]
+    assert baseline["completed"] == (
+        baseline["tenants"]
+        * baseline["clients_per_tenant"]
+        * baseline["requests_per_client"]
+    )
+    assert baseline["throughput_rps"] > 0
+    assert baseline["p95_ms"] >= baseline["p50_ms"] > 0
+    assert "trajectory" in payload

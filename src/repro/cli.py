@@ -12,6 +12,8 @@ obs         observability: render a trace file into a report
 chaos       run the fault-injection suite under a degradation policy
 drift       vet a stream CSV for drift against training data, with
             optional self-healing re-synthesis (--heal)
+serve       drive the asyncio multi-tenant guard service with a
+            closed-loop workload and print the service report
 
 ``synthesize``, ``check``, ``rectify``, ``experiment``, and ``drift``
 accept ``--trace PATH`` to record a structured JSONL trace of the run
@@ -262,6 +264,53 @@ def build_parser() -> argparse.ArgumentParser:
     drift.add_argument(
         "--heal-budget", type=float, default=10.0, metavar="SECONDS",
         help="wall-clock budget per re-synthesis attempt (default 10)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the asyncio multi-tenant guard service "
+        "(repro.serve) with a closed-loop workload",
+    )
+    add_trace_flag(serve)
+    serve.add_argument(
+        "program", type=Path, help="saved DSL program to serve"
+    )
+    serve.add_argument(
+        "csv", type=Path, help="rows to replay as request traffic"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4, metavar="N",
+        help="named guardrail tenants to register (default 4)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=16, metavar="K",
+        help="concurrent closed-loop clients (default 16)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=64, metavar="M",
+        help="requests per client (default 64)",
+    )
+    serve.add_argument(
+        "--mode", default="blocking",
+        choices=("blocking", "parallel"),
+        help="guard-vs-predict execution mode (default blocking)",
+    )
+    serve.add_argument(
+        "--guard-policy", default="strict", metavar="POLICY",
+        help="degradation policy when the guard fails "
+        "(strict|warn|pass-through|reject; default strict)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="B",
+        help="micro-batch flush threshold (default 64)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="longest a request waits for batch-mates (default 2)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=1024, metavar="Q",
+        help="per-tenant admission queue bound (default 1024)",
     )
 
     return parser
@@ -570,6 +619,64 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     return 1 if alerts else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import GuardServer, TenantConfig, render_service_report
+    from .synth import Guardrail
+
+    guardrail = Guardrail.load(args.program)
+    relation = read_csv(args.csv)
+    rows = [dict(row) for row in relation.iter_rows()]
+    if not rows:
+        print("no rows to serve", file=sys.stderr)
+        return 2
+    config = TenantConfig(
+        mode=args.mode,
+        policy=args.guard_policy,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=args.queue_size,
+    )
+
+    async def drive() -> GuardServer:
+        server = GuardServer()
+        names = [f"tenant-{i}" for i in range(args.tenants)]
+        for name in names:
+            server.register(name, guardrail, config)
+
+        async def client(client_id: int) -> None:
+            for i in range(args.requests):
+                index = client_id * args.requests + i
+                tenant = names[index % len(names)]
+                response = await server.check(
+                    tenant, rows[index % len(rows)]
+                )
+                if response.rejected:
+                    await asyncio.sleep(response.retry_after or 0.001)
+
+        async with server:
+            await asyncio.gather(
+                *(client(i) for i in range(args.clients))
+            )
+            server.publish_metrics()
+        return server
+
+    server = asyncio.run(drive())
+    print(render_service_report(server))
+    total = sum(s["completed"] for s in server.metrics().values())
+    flagged = sum(
+        t.guard.stats.degraded_verdicts
+        for t in (server.tenant(n) for n in server.tenants)
+    )
+    print(
+        f"{total} requests served across {args.tenants} tenants "
+        f"({args.clients} clients x {args.requests} requests; "
+        f"{flagged} degraded verdicts)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "check": _cmd_check,
@@ -580,6 +687,7 @@ _COMMANDS = {
     "obs": _cmd_obs,
     "chaos": _cmd_chaos,
     "drift": _cmd_drift,
+    "serve": _cmd_serve,
 }
 
 

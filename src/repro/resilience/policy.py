@@ -24,6 +24,7 @@ compose both around the streaming guards of :mod:`repro.errors.stream`.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
@@ -95,6 +96,13 @@ class CircuitBreaker:
         sleeping (the right setting for tests and for in-process
         guards, where retrying later does not help a deterministic
         fault).
+
+    The breaker is thread-safe: state transitions happen under an
+    internal lock, and the OPEN → HALF_OPEN transition admits exactly
+    **one** probe.  Before the serving layer this was a latent
+    stampede — every caller racing the recovery window saw the flip
+    and probed the failing dependency at once, which is precisely the
+    hammering the breaker exists to prevent.
     """
 
     failure_threshold: int = 3
@@ -108,34 +116,67 @@ class CircuitBreaker:
     total_retries: int = 0
     times_opened: int = 0
     _opened_at: float = field(default=0.0, repr=False)
+    _probe_at: float = field(default=0.0, repr=False)
+    _probe_in_flight: bool = field(default=False, repr=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def allow(self) -> bool:
-        """May a call proceed right now?  (Open → half-open on timeout.)"""
-        if self.state is not BreakerState.OPEN:
+        """May a call proceed right now?  (Open → half-open on timeout.)
+
+        In the HALF_OPEN window exactly one caller holds the probe
+        token; everyone else is refused until the probe reports back
+        via :meth:`record_success` / :meth:`record_failure`.  A probe
+        whose caller never reports (crashed mid-call) is considered
+        lost after ``recovery_seconds`` and a new probe is admitted.
+        """
+        if self.state is BreakerState.CLOSED:
             return True
-        if time.monotonic() - self._opened_at >= self.recovery_seconds:
-            self.state = BreakerState.HALF_OPEN
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
+                return True
+            now = time.monotonic()
+            if self.state is BreakerState.OPEN:
+                if now - self._opened_at < self.recovery_seconds:
+                    return False
+                self.state = BreakerState.HALF_OPEN
+                self._probe_in_flight = True
+                self._probe_at = now
+                return True
+            # HALF_OPEN: the single probe is either in flight (refuse)
+            # or lost (its caller went quiet past the recovery window).
+            if (
+                self._probe_in_flight
+                and now - self._probe_at < self.recovery_seconds
+            ):
+                return False
+            self._probe_in_flight = True
+            self._probe_at = now
             return True
-        return False
 
     def record_success(self) -> None:
         """A call completed: close the circuit and reset the streak."""
-        self.consecutive_failures = 0
-        self.state = BreakerState.CLOSED
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = BreakerState.CLOSED
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
         """A call failed (post-retries): maybe trip the circuit."""
-        self.consecutive_failures += 1
-        self.total_failures += 1
-        if (
-            self.state is BreakerState.HALF_OPEN
-            or self.consecutive_failures >= self.failure_threshold
-        ):
-            self.state = BreakerState.OPEN
-            self._opened_at = time.monotonic()
-            self.times_opened += 1
-            if obs.enabled():
-                obs.count("resilience.breaker.opened")
+        with self._lock:
+            self.consecutive_failures += 1
+            self.total_failures += 1
+            self._probe_in_flight = False
+            if (
+                self.state is BreakerState.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold
+            ):
+                self.state = BreakerState.OPEN
+                self._opened_at = time.monotonic()
+                self.times_opened += 1
+                if obs.enabled():
+                    obs.count("resilience.breaker.opened")
 
     def call(
         self,

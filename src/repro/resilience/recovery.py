@@ -37,6 +37,7 @@ healthy state:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -65,6 +66,10 @@ class QuarantineBuffer:
         ``"drop_oldest"`` (default: the buffer is a sliding window of
         the most recent suspects) or ``"drop_newest"`` (the buffer
         preserves the first evidence of the incident).
+
+    Pushes are atomic (internal lock), so concurrent producers — the
+    serving layer quarantines from many in-flight requests — can never
+    overshoot ``capacity`` or drop a row while under it.
     """
 
     def __init__(self, capacity: int = 1024, overflow: str = "drop_oldest"):
@@ -79,31 +84,35 @@ class QuarantineBuffer:
         self.overflow = overflow
         self.dropped = 0
         self._rows: deque = deque()
+        self._lock = threading.Lock()
 
     def push(self, row: Mapping[str, Hashable]) -> bool:
         """Quarantine one row; returns False when a row was dropped."""
-        rows = self._rows
-        if len(rows) < self.capacity:
-            rows.append(row)
-            return True
-        self.dropped += 1
-        if self.overflow == "drop_oldest":
-            rows.popleft()
-            rows.append(row)
-        # drop_newest: the incoming row is the casualty.
+        with self._lock:
+            rows = self._rows
+            if len(rows) < self.capacity:
+                rows.append(row)
+                return True
+            self.dropped += 1
+            if self.overflow == "drop_oldest":
+                rows.popleft()
+                rows.append(row)
+            # drop_newest: the incoming row is the casualty.
         if obs.enabled():
             obs.count("recovery.quarantine.dropped")
         return False
 
     def drain(self) -> list:
         """Remove and return every quarantined row."""
-        rows = list(self._rows)
-        self._rows.clear()
+        with self._lock:
+            rows = list(self._rows)
+            self._rows.clear()
         return rows
 
     def peek(self) -> list:
         """The quarantined rows, oldest first (non-destructive)."""
-        return list(self._rows)
+        with self._lock:
+            return list(self._rows)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -112,11 +121,15 @@ class QuarantineBuffer:
 class GuardrailVersions:
     """Versioned guardrail holder with atomic hot-swap and rollback.
 
-    The *current* version is a single reference, so a swap is atomic
-    with respect to concurrent readers (:class:`LiveRowGuard`, the SQL
-    executor's guard stage): every check runs against exactly one
-    version, before or after the swap, never a mixture.  All prior
-    versions stay resident for :meth:`rollback`.
+    The *live* version is a single ``(number, guardrail)`` tuple
+    reference, so a swap is atomic with respect to concurrent readers
+    (:class:`LiveRowGuard`, the SQL executor's guard stage, the
+    serving layer's batchers): every check runs against exactly one
+    version, before or after the swap, never a mixture — and
+    :meth:`snapshot` hands readers a *consistent* pair, never a new
+    number with an old guardrail.  All prior versions stay resident
+    for :meth:`rollback`; swap/rollback themselves serialize on an
+    internal lock.
     """
 
     def __init__(self, guardrail: Guardrail):
@@ -126,13 +139,15 @@ class GuardrailVersions:
             )
         self._versions: list[Guardrail] = [guardrail]
         self._cursor = 0
+        self._live: tuple[int, Guardrail] = (1, guardrail)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
     @property
     def version(self) -> int:
         """The live version number (1-based; bumps on swap/rollback)."""
-        return self._cursor + 1
+        return self._live[0]
 
     @property
     def n_versions(self) -> int:
@@ -142,14 +157,26 @@ class GuardrailVersions:
     @property
     def current(self) -> Guardrail:
         """The live guardrail."""
-        return self._versions[self._cursor]
+        return self._live[1]
+
+    def snapshot(self) -> tuple[int, Guardrail]:
+        """The live ``(version, guardrail)`` pair, read atomically.
+
+        Concurrent readers that need the number and the guardrail to
+        agree (e.g. a serving batcher stamping verdicts with the
+        version they ran under) must use this instead of reading
+        :attr:`version` and :attr:`current` separately across a
+        potential swap.
+        """
+        return self._live
 
     @property
     def previous(self) -> Guardrail | None:
         """The version a :meth:`rollback` would restore (None at v1)."""
-        if self._cursor == 0:
-            return None
-        return self._versions[self._cursor - 1]
+        with self._lock:
+            if self._cursor == 0:
+                return None
+            return self._versions[self._cursor - 1]
 
     def swap(self, guardrail: Guardrail) -> int:
         """Install ``guardrail`` as the live version; returns its number.
@@ -163,8 +190,10 @@ class GuardrailVersions:
                 f"hot-swap rejected: expected a Guardrail, got "
                 f"{type(guardrail).__name__}; previous version stays live"
             )
-        self._versions.append(guardrail)
-        self._cursor = len(self._versions) - 1
+        with self._lock:
+            self._versions.append(guardrail)
+            self._cursor = len(self._versions) - 1
+            self._live = (self._cursor + 1, guardrail)
         if obs.enabled():
             obs.count("recovery.swap")
             obs.record("recovery.swap", version=self.version)
@@ -186,9 +215,13 @@ class GuardrailVersions:
 
         Raises ``RuntimeError`` when already at the first version.
         """
-        if self._cursor == 0:
-            raise RuntimeError("cannot roll back past the first version")
-        self._cursor -= 1
+        with self._lock:
+            if self._cursor == 0:
+                raise RuntimeError(
+                    "cannot roll back past the first version"
+                )
+            self._cursor -= 1
+            self._live = (self._cursor + 1, self._versions[self._cursor])
         if obs.enabled():
             obs.count("recovery.rollback")
         return self.version
@@ -220,29 +253,62 @@ class GuardrailVersions:
 
 
 class _LiveGuardBase:
-    """Shared version-following logic for the live guard proxies."""
+    """Shared version-following logic for the live guard proxies.
+
+    The rebuilt inner guard lives in a single immutable
+    ``(version, guard)`` snapshot, refreshed under a lock, so a check
+    racing a :meth:`GuardrailVersions.swap` can never interleave the
+    guard with the wrong version label (the torn state where verdicts
+    keep coming from the old program while :attr:`version` reports the
+    new one) and can never rebuild twice for one version (which
+    silently dropped the first rebuild's ``stats`` counters).
+    """
 
     def __init__(self, versions: GuardrailVersions):
         self._versions = versions
-        self._built_for = -1
-        self._guard = None
+        self._built: tuple[int, object] | None = None
         self._drift = None
+        self._lock = threading.Lock()
+        #: Version the most recent operation ran under.  Single-consumer
+        #: bookkeeping (the serving batcher stamps responses with it);
+        #: concurrent readers should use :meth:`current_snapshot`.
+        self.last_version = 0
+
+    def _snapshot(self) -> tuple[int, object]:
+        """The live ``(version, inner guard)`` pair (rebuilt on swap)."""
+        built = self._built
+        if built is not None and built[0] == self._versions.version:
+            self.last_version = built[0]
+            return built
+        with self._lock:
+            built = self._built
+            version, guardrail = self._versions.snapshot()
+            if built is None or built[0] != version:
+                guard = self._build(guardrail)
+                if self._drift is not None:
+                    guard.attach_drift(self._drift)
+                built = (version, guard)
+                self._built = built
+            self.last_version = built[0]
+            return built
 
     def _current(self):
         """The inner guard for the live version (rebuilt on swap)."""
-        version = self._versions.version
-        if version != self._built_for:
-            self._guard = self._build(self._versions.current)
-            if self._drift is not None:
-                self._guard.attach_drift(self._drift)
-            self._built_for = version
-        return self._guard
+        return self._snapshot()[1]
+
+    def current_snapshot(self) -> tuple[int, object]:
+        """A consistent ``(version, guard)`` pair for version-stamped
+        work: the guard *is* the one built for that version, even when
+        a hot-swap lands concurrently (the pair is simply one swap
+        behind until the next call)."""
+        return self._snapshot()
 
     def attach_drift(self, detector) -> None:
         """Attach a drift detector that survives hot-swap rebuilds."""
-        self._drift = detector
-        if self._guard is not None:
-            self._guard.attach_drift(detector)
+        with self._lock:
+            self._drift = detector
+            if self._built is not None:
+                self._built[1].attach_drift(detector)
 
     @property
     def drift(self):

@@ -1,0 +1,91 @@
+"""Per-tenant serving configuration: execution mode and batching knobs.
+
+The serving layer runs each tenant's guard either *blocking* (the
+verdict gates the predict stage — a tripwire means the expensive model
+never runs) or *parallel* (guard and predict run concurrently — best
+latency, but a tripwire can only void a prediction that may already
+have been computed).  This is the execution-mode tradeoff the
+openai-agents guardrails documentation spells out, applied to the
+paper's integrity-constraint guards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..resilience import GuardPolicy
+
+
+class ServeMode(enum.Enum):
+    """How the guard stage relates to the predict stage."""
+
+    BLOCKING = "blocking"
+    PARALLEL = "parallel"
+
+    @classmethod
+    def parse(cls, value: "ServeMode | str") -> "ServeMode":
+        """Coerce a string (or member) into a :class:`ServeMode`."""
+        if isinstance(value, ServeMode):
+            return value
+        try:
+            return cls(value.lower().replace("-", "_"))
+        except ValueError:
+            options = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown serve mode {value!r}; expected one of {options}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Admission, batching, and degradation knobs for one tenant.
+
+    Parameters
+    ----------
+    mode:
+        :class:`ServeMode` — ``blocking`` (verdict gates predict) or
+        ``parallel`` (verdict races predict; a tripwire voids the
+        prediction).
+    policy:
+        :class:`~repro.resilience.GuardPolicy` applied when the guard
+        itself fails (distinct from a *violation*, which is a normal
+        verdict): strict turns failures into error responses, warn /
+        pass_through fail open, reject fails closed per row.
+    max_batch:
+        Micro-batch flush threshold — an admission queue flush happens
+        at ``max_batch`` rows or ``max_wait_ms``, whichever first.
+    max_wait_ms:
+        Longest a queued request waits for batch-mates before the
+        partial batch is flushed anyway.
+    queue_size:
+        Bound of the per-tenant admission queue.  A full queue rejects
+        new work with a typed retry-after response (backpressure),
+        never an exception.
+    failure_threshold / recovery_seconds:
+        The tenant's :class:`~repro.resilience.CircuitBreaker` trip
+        wire: consecutive guard failures that open the circuit, and
+        how long it refuses calls before admitting a single half-open
+        probe.
+    watchdog_seconds:
+        Post-hoc slow-call watchdog on guard calls (None disables).
+    """
+
+    mode: "ServeMode | str" = ServeMode.BLOCKING
+    policy: "GuardPolicy | str" = GuardPolicy.STRICT
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_size: int = 1024
+    failure_threshold: int = 5
+    recovery_seconds: float = 0.05
+    watchdog_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", ServeMode.parse(self.mode))
+        object.__setattr__(self, "policy", GuardPolicy.parse(self.policy))
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")

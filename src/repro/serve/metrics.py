@@ -1,0 +1,53 @@
+"""Service-level reporting over the per-tenant metrics.
+
+The server's counters (:class:`~repro.serve.TenantMetrics`) are plain
+numbers; this module renders them as the operator-facing service
+report the ``repro serve`` CLI prints, one line per tenant plus a
+fleet roll-up.
+"""
+
+from __future__ import annotations
+
+_COLUMNS = (
+    ("requests", "req"),
+    ("completed", "done"),
+    ("rejected", "rej"),
+    ("errors", "err"),
+    ("degraded", "deg"),
+    ("gated", "gated"),
+    ("voided", "void"),
+    ("batches", "flushes"),
+    ("swaps", "swaps"),
+)
+
+
+def render_service_report(server) -> str:
+    """A per-tenant service table (counters, batch fill, latency).
+
+    ``server`` is a :class:`~repro.serve.GuardServer`; the report is
+    built from :meth:`~repro.serve.GuardServer.metrics`, so it can be
+    rendered while the server is live or after it stopped.
+    """
+    snapshots = server.metrics()
+    lines = ["tenant            " + "  ".join(h for _, h in _COLUMNS)
+             + "   fill  p50ms  p95ms"]
+    totals = {key: 0 for key, _ in _COLUMNS}
+    for name, snap in snapshots.items():
+        cells = []
+        for key, header in _COLUMNS:
+            totals[key] += snap[key]
+            cells.append(f"{snap[key]:>{max(len(header), 3)}d}")
+        lines.append(
+            f"{name:<16}  "
+            + "  ".join(cells)
+            + f"  {snap['mean_batch_fill']:5.1f}"
+            + f"  {snap['p50_ms']:5.2f}"
+            + f"  {snap['p95_ms']:5.2f}"
+        )
+    if len(snapshots) > 1:
+        cells = [
+            f"{totals[key]:>{max(len(header), 3)}d}"
+            for key, header in _COLUMNS
+        ]
+        lines.append(f"{'TOTAL':<16}  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Typed service responses: every request gets one, come what may.
+
+The service never surfaces backpressure or guard degradation as an
+exception to the caller — a full admission queue yields a
+:attr:`ServeStatus.REJECTED` response carrying ``retry_after``, and a
+guard failure under the strict policy yields an
+:attr:`ServeStatus.ERROR` response carrying the error text.  Only
+caller bugs (unknown tenant, server not started) raise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from ..errors.stream import RowVerdict
+
+
+class ServeStatus(enum.Enum):
+    """Terminal status of one service request."""
+
+    OK = "ok"
+    REJECTED = "rejected"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The outcome of one ``check`` / ``rectify`` / ``predict`` request.
+
+    Attributes
+    ----------
+    status:
+        :class:`ServeStatus` — ``ok``, ``rejected`` (backpressure;
+        see ``retry_after``), or ``error`` (guard unavailable under
+        the strict policy, or no predictor registered).
+    tenant / kind / request_id:
+        Which tenant served which kind of request; ids are unique per
+        server so callers can correlate (and tests can prove zero
+        drops/duplicates).
+    version:
+        The guardrail version the verdict ran under — stamped from the
+        same atomic snapshot that produced the verdict, so a response
+        never reports a version other than the one that vetted it.
+    verdict:
+        The guard's :class:`~repro.errors.RowVerdict` (check/predict;
+        None on rejection or error).
+    row:
+        The repaired row (rectify only; None under the reject policy
+        when the guard could not vet the row).
+    prediction:
+        The predict stage's output (predict only; None when gated,
+        voided, or failed).
+    gated:
+        Blocking mode withheld the predict stage because the guard
+        tripped — the expensive stage never ran.
+    voided:
+        Parallel mode discarded the prediction because the guard
+        tripped after the race started.
+    degraded:
+        The guard failed during this request's flush and the tenant's
+        :class:`~repro.resilience.GuardPolicy` papered over it, so the
+        verdict is a policy verdict, not a real one.
+    retry_after:
+        Suggested client backoff in seconds (rejected only).
+    error:
+        Human-readable failure description (error status only).
+    queued_ms / service_ms:
+        Time spent waiting for batch-mates in the admission queue, and
+        total request residency (admission to response).
+    """
+
+    status: ServeStatus
+    tenant: str
+    kind: str
+    request_id: int
+    version: int = 0
+    verdict: RowVerdict | None = None
+    row: Mapping[str, Hashable] | None = None
+    prediction: object = None
+    gated: bool = False
+    voided: bool = False
+    degraded: bool = False
+    retry_after: float | None = None
+    error: str | None = None
+    queued_ms: float = 0.0
+    service_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Did the request complete (regardless of the verdict)?"""
+        return self.status is ServeStatus.OK
+
+    @property
+    def rejected(self) -> bool:
+        """Was the request refused by backpressure?"""
+        return self.status is ServeStatus.REJECTED
+
+    def __bool__(self) -> bool:
+        return self.ok

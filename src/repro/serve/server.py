@@ -1,0 +1,351 @@
+"""The asyncio multi-tenant guard service front-end.
+
+:class:`GuardServer` registers many named guardrails (tenants), accepts
+concurrent ``check`` / ``rectify`` / ``predict`` requests, and
+coalesces them per tenant into :class:`~repro.errors.BatchGuard`
+micro-batches.  Verdicts are bit-identical to a direct serial
+``check_batch`` over the same rows — batching changes latency and
+throughput, never semantics — and per-tenant hot-swap
+(:meth:`GuardServer.swap`) takes effect between flushes, so no request
+ever observes a torn version.
+
+    server = GuardServer()
+    server.register("acme", guardrail, TenantConfig(mode="parallel"))
+    async with server:
+        response = await server.check("acme", row)
+        response.verdict.ok
+
+Predict requests run the tenant's registered predictor under the
+configured :class:`~repro.serve.ServeMode`: blocking (the verdict
+gates the predictor — a tripwire means it never runs) or parallel (the
+predictor races the guard — a tripwire voids its output).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import time
+from typing import Callable, Hashable, Mapping
+
+from .. import obs
+from ..resilience import GuardrailVersions
+from ..synth import Guardrail
+from .config import ServeMode, TenantConfig
+from .responses import ServeResponse, ServeStatus
+from .tenant import Tenant, _FlushOutcome
+
+
+class GuardServer:
+    """A long-lived asyncio serving layer over many named guardrails.
+
+    Lifecycle: :meth:`register` tenants (before or after
+    :meth:`start`), serve requests, :meth:`stop` to drain.  The async
+    context manager form (``async with server:``) starts and stops it
+    around a block.
+    """
+
+    def __init__(self):
+        self._tenants: dict[str, Tenant] = {}
+        self._tasks: dict[str, asyncio.Task] = {}
+        self._ids = itertools.count(1)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Registration and lifecycle.
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        guardrail: "Guardrail | GuardrailVersions",
+        config: TenantConfig | None = None,
+        predictor: Callable | None = None,
+    ) -> Tenant:
+        """Add a tenant serving ``guardrail`` under ``config``.
+
+        ``predictor`` (sync or async callable of one row) is the
+        model stage ``predict`` requests run; omitting it makes
+        predict requests fail with a typed error response.  Returns
+        the :class:`~repro.serve.Tenant` handle (metrics, versions).
+        """
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} is already registered")
+        tenant = Tenant(name, guardrail, config, predictor)
+        self._tenants[name] = tenant
+        if self._running:
+            self._tasks[name] = asyncio.ensure_future(tenant.run())
+        return tenant
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """The registered tenant names, in registration order."""
+        return tuple(self._tenants)
+
+    @property
+    def running(self) -> bool:
+        """Is the server accepting requests?"""
+        return self._running
+
+    async def start(self) -> "GuardServer":
+        """Spawn one batcher task per registered tenant."""
+        if self._running:
+            return self
+        self._running = True
+        for name, tenant in self._tenants.items():
+            self._tasks[name] = asyncio.ensure_future(tenant.run())
+        if obs.enabled():
+            obs.record("serve.start", tenants=len(self._tenants))
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` (default) finish queued work
+        first, so no admitted request is ever dropped."""
+        if not self._running:
+            return
+        self._running = False
+        if drain:
+            await asyncio.gather(
+                *(t.queue.join() for t in self._tenants.values())
+            )
+        for task in self._tasks.values():
+            task.cancel()
+        await asyncio.gather(
+            *self._tasks.values(), return_exceptions=True
+        )
+        self._tasks.clear()
+
+    async def __aenter__(self) -> "GuardServer":
+        """``async with server:`` starts the batchers."""
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Drain and stop on block exit."""
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # The request path.
+    # ------------------------------------------------------------------
+
+    async def check(
+        self, tenant: str, row: Mapping[str, Hashable]
+    ) -> ServeResponse:
+        """Vet one row for ``tenant`` through its micro-batcher."""
+        return await self._submit(tenant, "check", row)
+
+    async def rectify(
+        self, tenant: str, row: Mapping[str, Hashable]
+    ) -> ServeResponse:
+        """Repair one row for ``tenant`` (response carries ``row``)."""
+        return await self._submit(tenant, "rectify", row)
+
+    async def predict(
+        self, tenant: str, row: Mapping[str, Hashable]
+    ) -> ServeResponse:
+        """Run the tenant's predictor under its guard and serve mode.
+
+        Blocking mode awaits the verdict first and *gates* the
+        predictor on a tripwire; parallel mode races the predictor
+        against the guard and *voids* its output on a tripwire.
+        """
+        tenant_state = self._tenant(tenant)
+        if tenant_state.predictor is None:
+            tenant_state.metrics.requests += 1
+            tenant_state.metrics.predicts += 1
+            tenant_state.metrics.errors += 1
+            return ServeResponse(
+                status=ServeStatus.ERROR,
+                tenant=tenant,
+                kind="predict",
+                request_id=next(self._ids),
+                error=f"tenant {tenant!r} has no predictor registered",
+            )
+        return await self._submit(tenant, "predict", row)
+
+    async def _submit(
+        self, tenant: str, kind: str, row: Mapping[str, Hashable]
+    ) -> ServeResponse:
+        tenant_state = self._tenant(tenant)
+        if not self._running:
+            raise RuntimeError(
+                "GuardServer is not running; use `async with server:` "
+                "or call start() first"
+            )
+        request_id = next(self._ids)
+        started = time.perf_counter()
+        admitted = tenant_state.admit(kind, row, request_id)
+        if isinstance(admitted, ServeResponse):
+            return admitted  # typed backpressure rejection
+        predict_task: asyncio.Task | None = None
+        if (
+            kind == "predict"
+            and tenant_state.config.mode is ServeMode.PARALLEL
+        ):
+            predict_task = asyncio.ensure_future(
+                self._run_predictor(tenant_state, row)
+            )
+        outcome: _FlushOutcome = await admitted.future
+        loop = asyncio.get_running_loop()
+        queued_ms = (loop.time() - admitted.enqueued_at) * 1000.0
+        response = await self._complete(
+            tenant_state, kind, row, request_id, outcome, predict_task
+        )
+        service_ms = (time.perf_counter() - started) * 1000.0
+        metrics = tenant_state.metrics
+        if response.status is ServeStatus.ERROR:
+            metrics.errors += 1
+        else:
+            metrics.completed += 1
+            metrics.queued_ms_total += queued_ms
+            metrics.service_ms_total += service_ms
+            metrics.latencies_ms.append(service_ms)
+            if service_ms > metrics.service_ms_max:
+                metrics.service_ms_max = service_ms
+        return dataclasses.replace(
+            response, queued_ms=queued_ms, service_ms=service_ms
+        )
+
+    async def _complete(
+        self,
+        tenant: Tenant,
+        kind: str,
+        row: Mapping[str, Hashable],
+        request_id: int,
+        outcome: _FlushOutcome,
+        predict_task: "asyncio.Task | None",
+    ) -> ServeResponse:
+        """Turn a flush outcome into the terminal response, running or
+        cancelling the predict stage as the mode dictates."""
+        base = dict(
+            tenant=tenant.name,
+            kind=kind,
+            request_id=request_id,
+            version=outcome.version,
+            verdict=outcome.verdict,
+            degraded=outcome.degraded,
+        )
+        if outcome.error is not None:
+            if predict_task is not None:
+                await self._void(predict_task)
+            return ServeResponse(
+                status=ServeStatus.ERROR, error=outcome.error, **base
+            )
+        if kind == "check":
+            return ServeResponse(status=ServeStatus.OK, **base)
+        if kind == "rectify":
+            return ServeResponse(
+                status=ServeStatus.OK, row=outcome.row, **base
+            )
+        # predict
+        tripped = outcome.verdict is not None and not outcome.verdict.ok
+        metrics = tenant.metrics
+        if predict_task is not None:  # parallel mode: already racing
+            if tripped:
+                await self._void(predict_task)
+                metrics.voided += 1
+                tenant.emit("serve.voided")
+                return ServeResponse(
+                    status=ServeStatus.OK, voided=True, **base
+                )
+            try:
+                prediction = await predict_task
+            except Exception as error:
+                return ServeResponse(
+                    status=ServeStatus.ERROR,
+                    error=f"predictor failed: {error}",
+                    **base,
+                )
+            return ServeResponse(
+                status=ServeStatus.OK, prediction=prediction, **base
+            )
+        if tripped:  # blocking mode: the expensive stage never runs
+            metrics.gated += 1
+            tenant.emit("serve.gated")
+            return ServeResponse(status=ServeStatus.OK, gated=True, **base)
+        try:
+            prediction = await self._run_predictor(tenant, row)
+        except Exception as error:
+            return ServeResponse(
+                status=ServeStatus.ERROR,
+                error=f"predictor failed: {error}",
+                **base,
+            )
+        return ServeResponse(
+            status=ServeStatus.OK, prediction=prediction, **base
+        )
+
+    async def _run_predictor(self, tenant: Tenant, row):
+        """Run the tenant's predictor (awaiting it when async)."""
+        result = tenant.predictor(row)
+        if asyncio.iscoroutine(result):
+            return await result
+        return result
+
+    @staticmethod
+    async def _void(task: asyncio.Task) -> None:
+        """Cancel a racing predict task and swallow its outcome."""
+        task.cancel()
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
+
+    # ------------------------------------------------------------------
+    # Hot-swap, metrics, and reporting.
+    # ------------------------------------------------------------------
+
+    def swap(
+        self, tenant: str, guardrail: Guardrail
+    ) -> int:
+        """Hot-swap ``tenant`` to a new guardrail under live traffic.
+
+        Delegates to :meth:`repro.resilience.GuardrailVersions.swap`
+        (atomic; a rejected candidate leaves the old version live);
+        in-flight flushes finish under the version they snapshotted.
+        Returns the new version number.
+        """
+        state = self._tenant(tenant)
+        version = state.versions.swap(guardrail)
+        state.metrics.swaps += 1
+        state.emit("serve.swap", version=version)
+        return version
+
+    def rollback(self, tenant: str) -> int:
+        """Back out ``tenant``'s most recent swap; returns the version."""
+        state = self._tenant(tenant)
+        version = state.versions.rollback()
+        state.metrics.swaps += 1
+        state.emit("serve.rollback", version=version)
+        return version
+
+    def tenant(self, name: str) -> Tenant:
+        """The :class:`~repro.serve.Tenant` handle for ``name``."""
+        return self._tenant(name)
+
+    def metrics(self) -> dict[str, dict]:
+        """Per-tenant service metric snapshots, keyed by tenant name."""
+        return {
+            name: tenant.metrics.snapshot()
+            for name, tenant in self._tenants.items()
+        }
+
+    def publish_metrics(self) -> None:
+        """Replay each tenant's buffered service events into the
+        active obs sink, tagged per tenant via the worker-tag protocol
+        of :func:`repro.obs.merge_events` (tenant i → worker i+1), so
+        ``repro obs report`` attributes service counters per tenant.
+        Drains the buffers; a no-op when tracing is disabled."""
+        if not obs.enabled():
+            return
+        for index, tenant in enumerate(self._tenants.values()):
+            events = list(tenant.events)
+            tenant.events.clear()
+            obs.merge_events(events, worker=index + 1)
+
+    def _tenant(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            known = ", ".join(self._tenants) or "none registered"
+            raise KeyError(f"unknown tenant {name!r} (known: {known})")
+        return tenant

@@ -1,0 +1,367 @@
+"""One tenant: a named guardrail, its admission queue, and its batcher.
+
+Each registered tenant owns
+
+* a :class:`~repro.resilience.GuardrailVersions` holder (hot-swap under
+  live traffic, per tenant);
+* live guard proxies (:class:`~repro.resilience.LiveBatchGuard` /
+  :class:`~repro.resilience.LiveRowGuard`) wrapped in the resilient
+  guards, so a per-tenant :class:`~repro.resilience.GuardPolicy` and
+  :class:`~repro.resilience.CircuitBreaker` govern degradation;
+* a bounded admission queue: requests coalesce into micro-batches
+  (flush on ``max_batch`` rows or ``max_wait_ms``), and a full queue
+  rejects with a typed retry-after response;
+* service metrics (:class:`TenantMetrics`) plus an obs-shaped event
+  buffer the server replays into the global sink via
+  :func:`repro.obs.merge_events`, tagged per tenant exactly as the
+  worker pool tags forked workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from ..resilience import (
+    CircuitBreaker,
+    GuardrailVersions,
+    ResilientBatchGuard,
+    ResilientRowGuard,
+)
+from ..resilience.policy import GuardUnavailableError
+from ..synth import Guardrail
+from .config import TenantConfig
+from .responses import ServeResponse, ServeStatus
+
+_LATENCY_WINDOW = 4096
+"""Recent per-request latencies kept for percentile reporting."""
+
+
+@dataclass
+class TenantMetrics:
+    """Service counters one tenant accumulates (see :meth:`snapshot`)."""
+
+    requests: int = 0
+    checks: int = 0
+    rectifies: int = 0
+    predicts: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    degraded: int = 0
+    gated: int = 0
+    voided: int = 0
+    batches: int = 0
+    rows_flushed: int = 0
+    swaps: int = 0
+    queue_high_water: int = 0
+    queued_ms_total: float = 0.0
+    service_ms_total: float = 0.0
+    service_ms_max: float = 0.0
+    latencies_ms: deque = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+
+    @property
+    def mean_batch_fill(self) -> float:
+        """Average rows per flushed micro-batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.rows_flushed / self.batches
+
+    @property
+    def mean_service_ms(self) -> float:
+        """Average request residency (admission to response)."""
+        if self.completed == 0:
+            return 0.0
+        return self.service_ms_total / self.completed
+
+    def percentile_ms(self, q: float) -> float:
+        """The q-th latency percentile over the recent window."""
+        window = sorted(self.latencies_ms)
+        if not window:
+            return 0.0
+        index = min(len(window) - 1, int(q * (len(window) - 1) + 0.5))
+        return window[index]
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (for reports, JSON, and assertions)."""
+        return {
+            "requests": self.requests,
+            "checks": self.checks,
+            "rectifies": self.rectifies,
+            "predicts": self.predicts,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "gated": self.gated,
+            "voided": self.voided,
+            "batches": self.batches,
+            "rows_flushed": self.rows_flushed,
+            "swaps": self.swaps,
+            "queue_high_water": self.queue_high_water,
+            "mean_batch_fill": self.mean_batch_fill,
+            "mean_service_ms": self.mean_service_ms,
+            "p50_ms": self.percentile_ms(0.50),
+            "p95_ms": self.percentile_ms(0.95),
+        }
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the tenant's queue."""
+
+    kind: str
+    row: Mapping[str, Hashable]
+    future: asyncio.Future
+    request_id: int
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class _FlushOutcome:
+    """What the batcher resolved one pending request with."""
+
+    version: int = 0
+    verdict: object = None
+    row: Mapping[str, Hashable] | None = None
+    degraded: bool = False
+    error: str | None = None
+
+
+class Tenant:
+    """Per-tenant serving state; constructed by ``GuardServer.register``.
+
+    Not a public entry point on its own — the server owns the batcher
+    task and the request path — but its :attr:`metrics`,
+    :attr:`versions`, and :attr:`events` are the per-tenant
+    observability surface callers read.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        guardrail: "Guardrail | GuardrailVersions",
+        config: TenantConfig | None = None,
+        predictor: Callable | None = None,
+    ):
+        self.name = name
+        self.config = config or TenantConfig()
+        self.versions = (
+            guardrail
+            if isinstance(guardrail, GuardrailVersions)
+            else GuardrailVersions(guardrail)
+        )
+        self.predictor = predictor
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.failure_threshold,
+            recovery_seconds=self.config.recovery_seconds,
+            max_retries=0,
+        )
+        self.live_batch = self.versions.batch_guard(
+            batch_size=self.config.max_batch
+        )
+        self.live_row = self.versions.row_guard()
+        self.guard = ResilientBatchGuard(
+            self.live_batch,
+            policy=self.config.policy,
+            breaker=self.breaker,
+            watchdog_seconds=self.config.watchdog_seconds,
+        )
+        self.row_guard = ResilientRowGuard(
+            self.live_row,
+            policy=self.config.policy,
+            breaker=self.breaker,
+            watchdog_seconds=self.config.watchdog_seconds,
+        )
+        self.metrics = TenantMetrics()
+        self.events: deque = deque(maxlen=_LATENCY_WINDOW)
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.queue_size
+        )
+
+    # ------------------------------------------------------------------
+    # Admission (runs on the event loop, synchronously).
+    # ------------------------------------------------------------------
+
+    def admit(
+        self, kind: str, row: Mapping[str, Hashable], request_id: int
+    ) -> "_Pending | ServeResponse":
+        """Enqueue one request, or reject it with typed backpressure.
+
+        Returns the queued :class:`_Pending` (whose future the batcher
+        will resolve) or, when the admission queue is full, a terminal
+        :class:`ServeResponse` with ``retry_after`` — backpressure is
+        a response, never an exception.
+        """
+        metrics = self.metrics
+        metrics.requests += 1
+        if kind == "check":
+            metrics.checks += 1
+        elif kind == "rectify":
+            metrics.rectifies += 1
+        else:
+            metrics.predicts += 1
+        if self.queue.full():
+            metrics.rejected += 1
+            self.emit("serve.rejected", kind=kind)
+            return ServeResponse(
+                status=ServeStatus.REJECTED,
+                tenant=self.name,
+                kind=kind,
+                request_id=request_id,
+                retry_after=self.retry_after(),
+            )
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            kind=kind,
+            row=row,
+            future=loop.create_future(),
+            request_id=request_id,
+            enqueued_at=loop.time(),
+        )
+        self.queue.put_nowait(pending)
+        depth = self.queue.qsize()
+        if depth > metrics.queue_high_water:
+            metrics.queue_high_water = depth
+        return pending
+
+    def retry_after(self) -> float:
+        """Suggested backoff when the queue is full: the time the
+        backlog needs to drain at the configured flush cadence plus
+        the tenant's observed mean service time."""
+        config = self.config
+        backlog_flushes = self.queue.qsize() / config.max_batch + 1.0
+        per_flush = config.max_wait_ms / 1000.0 + (
+            self.metrics.mean_service_ms / 1000.0
+        )
+        return backlog_flushes * max(per_flush, 1e-4)
+
+    # ------------------------------------------------------------------
+    # The batcher (one task per tenant, owned by the server).
+    # ------------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Drain the admission queue forever, flushing micro-batches.
+
+        A flush fires at ``max_batch`` queued rows or ``max_wait_ms``
+        after the first row, whichever comes first.  The flush itself
+        is synchronous (no awaits), so a whole batch runs under one
+        atomic guard snapshot and swaps land only between flushes.
+        """
+        loop = asyncio.get_running_loop()
+        config = self.config
+        while True:
+            batch = [await self.queue.get()]
+            deadline = loop.time() + config.max_wait_ms / 1000.0
+            while len(batch) < config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self.queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            try:
+                self.flush(batch)
+            finally:
+                for _ in batch:
+                    self.queue.task_done()
+
+    def flush(self, batch: list) -> None:
+        """Resolve one micro-batch: vet check/predict rows through the
+        batch kernel in a single pass, repair rectify rows through the
+        row guard, and stamp every outcome with the guardrail version
+        its verdict actually ran under."""
+        from .. import obs
+
+        vet = [p for p in batch if p.kind in ("check", "predict")]
+        repair = [p for p in batch if p.kind == "rectify"]
+        metrics = self.metrics
+        metrics.batches += 1
+        metrics.rows_flushed += len(batch)
+        if vet:
+            stats = self.guard.stats
+            failures_before = stats.failures
+            try:
+                verdicts = self.guard.check_batch([p.row for p in vet])
+            except GuardUnavailableError as error:
+                # Strict policy: the guard is down; every row in the
+                # flush fails closed with a typed error response.
+                outcome = _FlushOutcome(
+                    version=self.live_batch.last_version,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                self.emit("serve.guard_unavailable", value=len(vet))
+                for pending in vet:
+                    pending.future.set_result(outcome)
+            else:
+                version = self.live_batch.last_version
+                degraded = stats.failures > failures_before
+                if degraded:
+                    metrics.degraded += len(vet)
+                    self.emit("serve.degraded", value=len(vet))
+                for pending, verdict in zip(vet, verdicts):
+                    pending.future.set_result(
+                        _FlushOutcome(
+                            version=version,
+                            verdict=verdict,
+                            degraded=degraded,
+                        )
+                    )
+        for pending in repair:
+            self._rectify_one(pending)
+        # The counter goes through the per-tenant buffer (replayed by
+        # publish_metrics with a worker tag — never emitted live too,
+        # which would double-count); the histogram is live-only since
+        # buffered events carry counters.
+        self.emit("serve.flush", rows=len(batch))
+        if obs.enabled():
+            obs.observe("serve.batch_fill", len(batch), tenant=self.name)
+
+    def _rectify_one(self, pending) -> None:
+        stats = self.row_guard.stats
+        failures_before = stats.failures
+        try:
+            repaired = self.row_guard.rectify(pending.row)
+        except GuardUnavailableError as error:
+            pending.future.set_result(
+                _FlushOutcome(
+                    version=self.live_row.last_version,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+            return
+        pending.future.set_result(
+            _FlushOutcome(
+                version=self.live_row.last_version,
+                row=repaired,
+                degraded=stats.failures > failures_before,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, value: float = 1, **attrs) -> None:
+        """Buffer one obs-shaped counter event for later merge.
+
+        Events accumulate in :attr:`events` (bounded) regardless of
+        whether global tracing is on; ``GuardServer.publish_metrics``
+        replays them into the active sink via
+        :func:`repro.obs.merge_events` with a per-tenant worker tag.
+        """
+        self.events.append(
+            {
+                "type": "counter",
+                "name": name,
+                "value": value,
+                "ts": time.time(),
+                "attrs": {"tenant": self.name, **attrs},
+            }
+        )

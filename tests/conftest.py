@@ -1,6 +1,15 @@
-"""Shared fixtures for the GUARDRAIL test suite."""
+"""Shared fixtures for the GUARDRAIL test suite.
+
+Also provides the suite's asyncio runner: ``async def`` tests are
+collected normally, tagged with the ``asyncio`` marker, and executed
+via :func:`asyncio.run` — no external pytest-asyncio dependency, so
+the serve tests run from a clean checkout with stock pytest.
+"""
 
 from __future__ import annotations
+
+import asyncio
+import inspect
 
 import numpy as np
 import pytest
@@ -8,6 +17,28 @@ import pytest
 from repro.dsl import Branch, Condition, Program, Statement
 from repro.pgm import DAG, random_sem
 from repro.relation import Relation
+
+
+def pytest_collection_modifyitems(items):
+    """Tag every coroutine test with the ``asyncio`` marker."""
+    for item in items:
+        function = getattr(item, "function", None)
+        if function is not None and inspect.iscoroutinefunction(function):
+            item.add_marker(pytest.mark.asyncio)
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``async def`` tests under a fresh event loop per test."""
+    function = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(function):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(function(**kwargs))
+    return True
 
 
 @pytest.fixture

@@ -1,0 +1,429 @@
+"""Unit tests for the asyncio multi-tenant guard service.
+
+Covers the service semantics the serve PR promises: micro-batched
+verdicts bit-identical to direct serial ``BatchGuard.check_batch``,
+blocking vs parallel predict modes, typed backpressure rejections,
+per-tenant degradation policies, hot-swap under traffic, and the
+per-tenant metrics/obs surface.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.dsl import Branch, Condition, Program, Statement
+from repro.errors import BatchGuard
+from repro.resilience import GuardrailVersions
+from repro.serve import (
+    GuardServer,
+    ServeMode,
+    ServeStatus,
+    TenantConfig,
+    render_service_report,
+)
+from repro.synth import Guardrail
+
+pytestmark = pytest.mark.serve
+
+
+def _program(city: str = "Berkeley") -> Program:
+    branches = (
+        Branch(Condition.of(PostalCode="94704"), "City", city),
+        Branch(Condition.of(PostalCode="10001"), "City", "NewYork"),
+    )
+    return Program((Statement(("PostalCode",), "City", branches),))
+
+
+def _guardrail(city: str = "Berkeley") -> Guardrail:
+    return Guardrail.from_program(_program(city))
+
+
+def _rows(n: int) -> list[dict]:
+    """A deterministic mix of conforming and violating rows."""
+    rows = []
+    for i in range(n):
+        city = "Berkeley" if i % 3 else "NewYork"
+        rows.append({"PostalCode": "94704", "City": city, "i": str(i)})
+    return rows
+
+
+class TestConfig:
+    def test_mode_parse(self):
+        assert ServeMode.parse("parallel") is ServeMode.PARALLEL
+        assert ServeMode.parse(ServeMode.BLOCKING) is ServeMode.BLOCKING
+        with pytest.raises(ValueError, match="unknown serve mode"):
+            ServeMode.parse("sideways")
+
+    def test_config_coerces_and_validates(self):
+        config = TenantConfig(mode="parallel", policy="warn")
+        assert config.mode is ServeMode.PARALLEL
+        assert config.policy.value == "warn"
+        with pytest.raises(ValueError):
+            TenantConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            TenantConfig(queue_size=0)
+
+
+class TestLifecycle:
+    async def test_requires_start(self):
+        server = GuardServer()
+        server.register("a", _guardrail())
+        with pytest.raises(RuntimeError, match="not running"):
+            await server.check("a", _rows(1)[0])
+
+    async def test_unknown_tenant(self):
+        server = GuardServer()
+        async with server:
+            with pytest.raises(KeyError, match="unknown tenant"):
+                await server.check("ghost", {})
+
+    async def test_duplicate_registration(self):
+        server = GuardServer()
+        server.register("a", _guardrail())
+        with pytest.raises(ValueError, match="already registered"):
+            server.register("a", _guardrail())
+
+    async def test_register_after_start(self):
+        server = GuardServer()
+        async with server:
+            server.register("late", _guardrail())
+            response = await server.check("late", _rows(1)[0])
+            assert response.ok
+
+    async def test_stop_drains_admitted_requests(self):
+        server = GuardServer()
+        server.register(
+            "a", _guardrail(), TenantConfig(max_batch=8, max_wait_ms=20.0)
+        )
+        await server.start()
+        pending = [
+            asyncio.ensure_future(server.check("a", row))
+            for row in _rows(5)
+        ]
+        await asyncio.sleep(0)  # let the submissions enqueue
+        await server.stop()
+        responses = await asyncio.gather(*pending)
+        assert all(r.ok for r in responses)
+
+
+class TestBatchedVerdictParity:
+    async def test_verdicts_match_direct_serial_batch_guard(self):
+        """Micro-batched service verdicts are bit-identical to a
+        direct serial BatchGuard.check_batch over the same rows."""
+        rows = _rows(96)
+        reference = BatchGuard(_program()).check_batch(rows)
+        for mode in ("blocking", "parallel"):
+            server = GuardServer()
+            server.register(
+                "a",
+                _guardrail(),
+                TenantConfig(mode=mode, max_batch=16, max_wait_ms=1.0),
+            )
+            async with server:
+                responses = await asyncio.gather(
+                    *(server.check("a", row) for row in rows)
+                )
+            for response, expected in zip(responses, reference):
+                assert response.ok
+                assert response.verdict == expected
+                assert response.version == 1
+
+    async def test_single_requests_flush_on_max_wait(self):
+        server = GuardServer()
+        server.register(
+            "a", _guardrail(), TenantConfig(max_batch=64, max_wait_ms=1.0)
+        )
+        ok_row = {"PostalCode": "94704", "City": "Berkeley", "i": "0"}
+        async with server:
+            response = await server.check("a", ok_row)
+        assert response.ok
+        assert response.verdict.ok
+
+
+class TestModes:
+    async def test_blocking_gates_predict_on_tripwire(self):
+        calls = []
+
+        def predictor(row):
+            calls.append(row)
+            return f"pred-{row['i']}"
+
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            TenantConfig(mode="blocking", max_wait_ms=0.5),
+            predictor=predictor,
+        )
+        ok_row = {"PostalCode": "94704", "City": "Berkeley", "i": "1"}
+        bad_row = {"PostalCode": "94704", "City": "NewYork", "i": "2"}
+        async with server:
+            good = await server.predict("a", ok_row)
+            bad = await server.predict("a", bad_row)
+        assert good.prediction == "pred-1" and not good.gated
+        assert bad.gated and bad.prediction is None and not bad.voided
+        # The tripwire kept the expensive stage from ever running.
+        assert [row["i"] for row in calls] == ["1"]
+        assert server.tenant("a").metrics.gated == 1
+
+    async def test_parallel_voids_prediction_on_tripwire(self):
+        async def predictor(row):
+            await asyncio.sleep(0.005)
+            return f"pred-{row['i']}"
+
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            TenantConfig(mode="parallel", max_wait_ms=0.5),
+            predictor=predictor,
+        )
+        ok_row = {"PostalCode": "94704", "City": "Berkeley", "i": "1"}
+        bad_row = {"PostalCode": "94704", "City": "NewYork", "i": "2"}
+        async with server:
+            good = await server.predict("a", ok_row)
+            bad = await server.predict("a", bad_row)
+        assert good.prediction == "pred-1" and not good.voided
+        assert bad.voided and bad.prediction is None and not bad.gated
+        assert server.tenant("a").metrics.voided == 1
+
+    async def test_predict_without_predictor_is_typed_error(self):
+        server = GuardServer()
+        server.register("a", _guardrail())
+        async with server:
+            response = await server.predict("a", _rows(1)[0])
+        assert response.status is ServeStatus.ERROR
+        assert "no predictor" in response.error
+
+    async def test_failing_predictor_is_typed_error(self):
+        def predictor(row):
+            raise RuntimeError("model fell over")
+
+        for mode in ("blocking", "parallel"):
+            server = GuardServer()
+            server.register(
+                "a",
+                _guardrail(),
+                TenantConfig(mode=mode, max_wait_ms=0.5),
+                predictor=predictor,
+            )
+            ok_row = {"PostalCode": "94704", "City": "Berkeley", "i": "1"}
+            async with server:
+                response = await server.predict("a", ok_row)
+            assert response.status is ServeStatus.ERROR
+            assert "model fell over" in response.error
+
+
+class TestBackpressure:
+    async def test_full_queue_rejects_with_retry_after(self):
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            TenantConfig(queue_size=4, max_batch=4, max_wait_ms=50.0),
+        )
+        rows = _rows(32)
+        async with server:
+            # Submit without yielding: the queue (4) must overflow.
+            pending = [
+                asyncio.ensure_future(server.check("a", row))
+                for row in rows
+            ]
+            responses = await asyncio.gather(*pending)
+        rejected = [r for r in responses if r.rejected]
+        completed = [r for r in responses if r.ok]
+        assert rejected, "expected the bounded queue to reject work"
+        assert len(rejected) + len(completed) == len(rows)
+        for response in rejected:
+            assert response.status is ServeStatus.REJECTED
+            assert response.retry_after > 0
+            assert response.verdict is None
+        assert server.tenant("a").metrics.rejected == len(rejected)
+
+    async def test_rejected_work_succeeds_on_retry(self):
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            TenantConfig(queue_size=2, max_batch=2, max_wait_ms=0.5),
+        )
+        async with server:
+            responses = []
+            for row in _rows(16):
+                response = await server.check("a", row)
+                while response.rejected:
+                    await asyncio.sleep(response.retry_after)
+                    response = await server.check("a", row)
+                responses.append(response)
+        assert all(r.ok for r in responses)
+
+
+class TestDegradation:
+    class _Bomb:
+        """A guardrail-shaped object whose batch kernel always dies."""
+
+        def __init__(self, guardrail):
+            self._inner = guardrail
+            self.program = guardrail.program
+            self.config = guardrail.config
+            self._result = None
+
+        def batch_guard(self, batch_size=256):
+            raise RuntimeError("kernel exploded")
+
+        def row_guard(self):
+            raise RuntimeError("kernel exploded")
+
+    def _bombed_versions(self) -> GuardrailVersions:
+        versions = GuardrailVersions(_guardrail())
+        bomb = self._Bomb(versions.current)
+        versions._versions[0] = bomb  # sabotage the live version
+        versions._live = (1, bomb)
+        return versions
+
+    async def test_warn_policy_fails_open_and_marks_degraded(self):
+        server = GuardServer()
+        server.register(
+            "a",
+            self._bombed_versions(),
+            TenantConfig(
+                policy="warn", max_wait_ms=0.5, failure_threshold=100
+            ),
+        )
+        async with server:
+            response = await server.check("a", _rows(1)[0])
+        assert response.ok
+        assert response.degraded
+        assert response.verdict.ok  # fail open
+        assert server.tenant("a").metrics.degraded >= 1
+
+    async def test_reject_policy_fails_closed(self):
+        server = GuardServer()
+        server.register(
+            "a",
+            self._bombed_versions(),
+            TenantConfig(
+                policy="reject", max_wait_ms=0.5, failure_threshold=100
+            ),
+        )
+        async with server:
+            response = await server.check("a", _rows(1)[0])
+        assert response.ok and response.degraded
+        assert not response.verdict.ok  # fail closed
+
+    async def test_strict_policy_surfaces_typed_error(self):
+        server = GuardServer()
+        server.register(
+            "a",
+            self._bombed_versions(),
+            TenantConfig(
+                policy="strict", max_wait_ms=0.5, failure_threshold=100
+            ),
+        )
+        async with server:
+            response = await server.check("a", _rows(1)[0])
+        assert response.status is ServeStatus.ERROR
+        assert response.error
+        assert server.tenant("a").metrics.errors == 1
+
+
+class TestHotSwap:
+    async def test_swap_under_traffic_no_torn_versions(self):
+        """Every response's verdict matches the program of the version
+        it reports — across a mid-traffic hot-swap."""
+        rows = _rows(256)
+        references = {
+            1: BatchGuard(_program("Berkeley")).check_batch(rows),
+            2: BatchGuard(_program("Oakland")).check_batch(rows),
+        }
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail("Berkeley"),
+            TenantConfig(max_batch=16, max_wait_ms=1.0),
+        )
+
+        async def swap_later():
+            await asyncio.sleep(0.004)
+            return server.swap("a", _guardrail("Oakland"))
+
+        async with server:
+            results = await asyncio.gather(
+                *(server.check("a", row) for i, row in enumerate(rows)),
+                swap_later(),
+            )
+        responses, swapped_to = results[:-1], results[-1]
+        assert swapped_to == 2
+        seen_versions = set()
+        for i, response in enumerate(responses):
+            assert response.ok
+            seen_versions.add(response.version)
+            assert response.verdict == references[response.version][i]
+        assert seen_versions <= {1, 2}
+        assert server.tenant("a").metrics.swaps == 1
+
+    async def test_rollback_restores_previous_version(self):
+        server = GuardServer()
+        server.register(
+            "a", _guardrail("Berkeley"), TenantConfig(max_wait_ms=0.5)
+        )
+        bad_row = {"PostalCode": "94704", "City": "Berkeley", "i": "0"}
+        async with server:
+            assert (await server.check("a", bad_row)).verdict.ok
+            server.swap("a", _guardrail("Oakland"))
+            assert not (await server.check("a", bad_row)).verdict.ok
+            server.rollback("a")
+            restored = await server.check("a", bad_row)
+        assert restored.verdict.ok
+        assert restored.version == 1
+
+
+class TestMetricsAndObs:
+    async def test_request_ids_unique_and_counters_consistent(self):
+        server = GuardServer()
+        server.register(
+            "a", _guardrail(), TenantConfig(max_batch=8, max_wait_ms=0.5)
+        )
+        server.register(
+            "b", _guardrail(), TenantConfig(max_batch=8, max_wait_ms=0.5)
+        )
+        rows = _rows(40)
+        async with server:
+            responses = await asyncio.gather(
+                *(
+                    server.check("ab"[i % 2], row)
+                    for i, row in enumerate(rows)
+                )
+            )
+        ids = [r.request_id for r in responses]
+        assert len(set(ids)) == len(ids)
+        metrics = server.metrics()
+        assert metrics["a"]["completed"] == 20
+        assert metrics["b"]["completed"] == 20
+        assert metrics["a"]["rows_flushed"] == 20
+        assert metrics["a"]["p95_ms"] >= metrics["a"]["p50_ms"] >= 0
+        report = render_service_report(server)
+        assert "tenant" in report and "a" in report and "TOTAL" in report
+
+    async def test_publish_metrics_tags_tenants_as_workers(self):
+        server = GuardServer()
+        server.register("a", _guardrail(), TenantConfig(max_wait_ms=0.5))
+        server.register("b", _guardrail(), TenantConfig(max_wait_ms=0.5))
+        sink = obs.MemorySink()
+        with obs.tracing(sink):
+            async with server:
+                await server.check("a", _rows(1)[0])
+                await server.check("b", _rows(1)[0])
+                server.publish_metrics()
+        events = list(sink.events)
+        flushes = [
+            e for e in events if e.get("name") == "serve.flush"
+        ]
+        assert {e.get("worker") for e in flushes} == {1, 2}
+        assert {e["attrs"]["tenant"] for e in flushes} == {"a", "b"}
+        # Buffers drained: publishing again adds nothing.
+        before = len(list(sink.events))
+        with obs.tracing(sink):
+            server.publish_metrics()
+        assert len(list(sink.events)) == before

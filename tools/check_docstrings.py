@@ -40,6 +40,7 @@ DOCUMENTED_SUBSYSTEMS = (
     "obs",
     "resilience",
     "parallel",
+    "serve",
 )
 """Subsystem packages that must each have a ``## repro.<name>`` section
 in ``docs/API.md``.  An explicit list, not a directory walk: some
