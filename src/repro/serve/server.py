@@ -185,7 +185,14 @@ class GuardServer:
             predict_task = asyncio.ensure_future(
                 self._run_predictor(tenant_state, row)
             )
-        outcome: _FlushOutcome = await admitted.future
+        try:
+            outcome: _FlushOutcome = await admitted.future
+        except BaseException:
+            # Request cancelled (or the future otherwise failed): a
+            # racing predictor must not be orphaned mid-flight.
+            if predict_task is not None:
+                await self._void(predict_task)
+            raise
         loop = asyncio.get_running_loop()
         queued_ms = (loop.time() - admitted.enqueued_at) * 1000.0
         response = await self._complete(

@@ -270,6 +270,18 @@ class Tenant:
                     break
             try:
                 self.flush(batch)
+            except Exception as error:
+                # The service contract is "never an exception": an
+                # unexpected flush failure resolves every still-pending
+                # request with a typed ERROR outcome and the batcher
+                # keeps draining — it must outlive any single batch.
+                self.emit("serve.flush_error", value=len(batch))
+                outcome = _FlushOutcome(
+                    version=self.live_batch.version,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                for pending in batch:
+                    self._resolve(pending, outcome)
             finally:
                 for _ in batch:
                     self.queue.task_done()
@@ -293,14 +305,16 @@ class Tenant:
                 verdicts = self.guard.check_batch([p.row for p in vet])
             except GuardUnavailableError as error:
                 # Strict policy: the guard is down; every row in the
-                # flush fails closed with a typed error response.
+                # flush fails closed with a typed error response.  The
+                # guard may never have run (open breaker), so stamp the
+                # live version, not the last one a flush ran under.
                 outcome = _FlushOutcome(
-                    version=self.live_batch.last_version,
+                    version=self.live_batch.version,
                     error=f"{type(error).__name__}: {error}",
                 )
                 self.emit("serve.guard_unavailable", value=len(vet))
                 for pending in vet:
-                    pending.future.set_result(outcome)
+                    self._resolve(pending, outcome)
             else:
                 version = self.live_batch.last_version
                 degraded = stats.failures > failures_before
@@ -308,12 +322,13 @@ class Tenant:
                     metrics.degraded += len(vet)
                     self.emit("serve.degraded", value=len(vet))
                 for pending, verdict in zip(vet, verdicts):
-                    pending.future.set_result(
+                    self._resolve(
+                        pending,
                         _FlushOutcome(
                             version=version,
                             verdict=verdict,
                             degraded=degraded,
-                        )
+                        ),
                     )
         for pending in repair:
             self._rectify_one(pending)
@@ -331,20 +346,34 @@ class Tenant:
         try:
             repaired = self.row_guard.rectify(pending.row)
         except GuardUnavailableError as error:
-            pending.future.set_result(
+            self._resolve(
+                pending,
                 _FlushOutcome(
-                    version=self.live_row.last_version,
+                    version=self.live_row.version,
                     error=f"{type(error).__name__}: {error}",
-                )
+                ),
             )
             return
-        pending.future.set_result(
+        self._resolve(
+            pending,
             _FlushOutcome(
                 version=self.live_row.last_version,
                 row=repaired,
                 degraded=stats.failures > failures_before,
-            )
+            ),
         )
+
+    @staticmethod
+    def _resolve(pending: _Pending, outcome: _FlushOutcome) -> None:
+        """Resolve one pending future, tolerating a gone caller.
+
+        The awaiting request task may have been cancelled (client
+        timeout, ``stop(drain=False)``), which cancels the future;
+        ``set_result`` on it would raise ``InvalidStateError`` and
+        kill the batcher task, hanging every later request.
+        """
+        if not pending.future.done():
+            pending.future.set_result(outcome)
 
     # ------------------------------------------------------------------
 

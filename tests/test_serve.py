@@ -327,6 +327,107 @@ class TestDegradation:
         assert response.error
         assert server.tenant("a").metrics.errors == 1
 
+    async def test_open_breaker_error_reports_live_version(self):
+        """An error response produced while the breaker is open (guard
+        never ran) reports the *live* version, not the stale version of
+        the last flush that actually reached the guard."""
+        server = GuardServer()
+        server.register(
+            "a",
+            self._bombed_versions(),
+            TenantConfig(
+                policy="strict",
+                max_wait_ms=0.5,
+                failure_threshold=1,
+                recovery_seconds=60.0,
+            ),
+        )
+        async with server:
+            first = await server.check("a", _rows(1)[0])
+            assert first.status is ServeStatus.ERROR  # trips the breaker
+            server.swap("a", _guardrail())  # v2 live; breaker still open
+            second = await server.check("a", _rows(1)[0])
+        assert second.status is ServeStatus.ERROR
+        assert "CircuitOpenError" in second.error
+        assert second.version == 2
+
+    async def test_unexpected_flush_failure_is_typed_error(self):
+        """An exception the flush path does not anticipate must not
+        kill the batcher task: the affected requests get a typed ERROR
+        response and later requests still complete."""
+        server = GuardServer()
+        server.register("a", _guardrail(), TenantConfig(max_wait_ms=0.5))
+        tenant = server.tenant("a")
+        real = tenant.guard.check_batch
+
+        def explode(rows):
+            raise ValueError("unexpected kernel bug")
+
+        tenant.guard.check_batch = explode
+        async with server:
+            response = await asyncio.wait_for(
+                server.check("a", _rows(1)[0]), 5.0
+            )
+            assert response.status is ServeStatus.ERROR
+            assert "unexpected kernel bug" in response.error
+            tenant.guard.check_batch = real
+            recovered = await asyncio.wait_for(
+                server.check("a", _rows(1)[0]), 5.0
+            )
+        assert recovered.ok
+
+
+class TestCallerCancellation:
+    async def test_cancelled_request_does_not_kill_batcher(self):
+        """Cancelling a caller cancels its future; the batcher must
+        tolerate resolving it and keep serving later requests."""
+        server = GuardServer()
+        server.register(
+            "a", _guardrail(), TenantConfig(max_batch=8, max_wait_ms=20.0)
+        )
+        async with server:
+            doomed = asyncio.ensure_future(server.check("a", _rows(1)[0]))
+            await asyncio.sleep(0)  # let it enqueue
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            response = await asyncio.wait_for(
+                server.check("a", _rows(1)[0]), 5.0
+            )
+        assert response.ok
+
+    async def test_cancelled_parallel_predict_voids_racing_predictor(self):
+        """Cancelling a parallel-mode predict request must cancel the
+        racing predictor task rather than orphan it."""
+        predictor_started = asyncio.Event()
+        predictor_cancelled = asyncio.Event()
+
+        async def predictor(row):
+            predictor_started.set()
+            try:
+                await asyncio.sleep(30.0)
+            except asyncio.CancelledError:
+                predictor_cancelled.set()
+                raise
+            return "never"
+
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            TenantConfig(mode="parallel", max_batch=8, max_wait_ms=20.0),
+            predictor=predictor,
+        )
+        async with server:
+            doomed = asyncio.ensure_future(
+                server.predict("a", _rows(1)[0])
+            )
+            await asyncio.wait_for(predictor_started.wait(), 5.0)
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await asyncio.wait_for(predictor_cancelled.wait(), 5.0)
+
 
 class TestHotSwap:
     async def test_swap_under_traffic_no_torn_versions(self):
