@@ -198,6 +198,69 @@ def test_synthesis_scaling(workload):
         )
 
 
+def _supervision_probe(x):
+    """A CPU-bound ~5ms task (module-level: pickled by reference)."""
+    values = np.arange(1_000_000, dtype=np.float64) % 97.0
+    return float(np.sqrt(values + x).sum())
+
+
+@pytest.mark.skipif(not _can_fork, reason="fork unavailable")
+def test_supervision_overhead_on_healthy_path():
+    """The fault-tolerant pool's supervision machinery (per-worker
+    pipes, ``connection.wait`` collection, deadline bookkeeping) must
+    cost < 5% wall-clock vs a raw ``multiprocessing.Pool`` on the same
+    healthy workload — fault tolerance is free until a fault happens."""
+    import multiprocessing as mp
+
+    items = list(range(64))
+    workers = 4
+    chunksize = max(1, len(items) // (workers * 4))
+    expected = [_supervision_probe(x) for x in items]
+
+    def raw_run():
+        with mp.get_context("fork").Pool(workers) as raw:
+            assert (
+                raw.map(_supervision_probe, items, chunksize=chunksize)
+                == expected
+            )
+
+    supervised_pool = WorkerPool(workers, min_shard_rows=1)
+
+    def supervised_run():
+        assert supervised_pool.map(_supervision_probe, items) == expected
+        assert supervised_pool.last_faults == ()
+
+    raw_s = _best_of(raw_run, repeats=3)
+    supervised_s = _best_of(supervised_run, repeats=3)
+    overhead = supervised_s / raw_s - 1.0
+    banner(
+        "Supervision overhead (healthy path)",
+        f"items: {len(items)}, workers: {workers}, cores: {_cores}\n"
+        f"raw mp.Pool      {raw_s * 1e3:9.1f} ms\n"
+        f"supervised pool  {supervised_s * 1e3:9.1f} ms\n"
+        f"overhead         {overhead:+.1%}  (budget < +5%)",
+    )
+    if os.environ.get("REPRO_UPDATE_BENCH") == "1":
+        _append_trajectory(
+            _BENCH_GUARD,
+            {
+                "date": time.strftime("%Y-%m-%d"),
+                "benchmark": "supervision_overhead",
+                "cpu_count": _cores,
+                "n_items": len(items),
+                "raw_s": round(raw_s, 4),
+                "supervised_s": round(supervised_s, 4),
+                "overhead": round(overhead, 4),
+                "note": "live run of test_supervision_overhead",
+            },
+        )
+    if _cores >= 4:
+        assert overhead < 0.05, (
+            f"supervision overhead {overhead:+.1%} on the healthy path "
+            f"(budget < +5%)"
+        )
+
+
 def test_recorded_trajectory_meets_acceptance():
     """The committed record must witness the ISSUE-6 acceptance bar:
     >= 2.5x at 4 workers on a >= 1M-row synthesis+scan workload."""

@@ -233,6 +233,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="seed for the harness's random generator (default 0)",
     )
+    chaos.add_argument(
+        "--worker-faults",
+        action="store_true",
+        help="run only the process-level fault classes (worker "
+        "SIGKILL/hang/poisoned result in the supervised pool)",
+    )
+    chaos.add_argument(
+        "--load",
+        action="store_true",
+        help="run the chaos-under-load suite instead: faults injected "
+        "into a live GuardServer while a closed-loop client fleet "
+        "drives it (repro.resilience.chaos_load)",
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=8,
+        help="closed-loop clients in the --load fleet (default 8)",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=5,
+        help="requests per client per --load traffic phase (default 5)",
+    )
 
     drift = sub.add_parser(
         "drift",
@@ -529,11 +550,37 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .resilience import (
         FAULT_CLASSES,
+        LOAD_FAULT_CLASSES,
+        WORKER_FAULT_CLASSES,
         render_chaos_report,
+        render_load_report,
         run_chaos_suite,
+        run_load_suite,
     )
 
-    faults = tuple(args.fault) if args.fault else FAULT_CLASSES
+    if args.load:
+        faults = tuple(args.fault) if args.fault else LOAD_FAULT_CLASSES
+        unknown = [f for f in faults if f not in LOAD_FAULT_CLASSES]
+        if unknown:
+            print(
+                f"unknown load fault class(es): {', '.join(unknown)}; "
+                f"choose from: {', '.join(LOAD_FAULT_CLASSES)}",
+                file=sys.stderr,
+            )
+            return 2
+        outcomes = run_load_suite(
+            args.guard_policy,
+            faults=faults,
+            clients=args.clients,
+            requests=args.requests,
+        )
+        print(render_load_report(outcomes))
+        return 0 if all(o.conformant for o in outcomes) else 1
+    if args.worker_faults:
+        default_faults = WORKER_FAULT_CLASSES
+    else:
+        default_faults = FAULT_CLASSES
+    faults = tuple(args.fault) if args.fault else default_faults
     unknown = [f for f in faults if f not in FAULT_CLASSES]
     if unknown:
         print(

@@ -235,6 +235,22 @@ def render_drift_dashboard(events: Iterable[dict]) -> str:
     return "\n".join(lines)
 
 
+def aggregate_worker_faults(events: Iterable[dict]) -> dict[str, int]:
+    """Count ``worker_fault`` events by fault kind.
+
+    The supervised pool (:mod:`repro.parallel.supervise`) emits one
+    typed event per absorbed process-level incident — worker death,
+    task deadline, unpicklable result; an empty dict means every pool
+    call in the trace ran clean.
+    """
+    by_kind: dict[str, int] = {}
+    for event in events:
+        if event.get("type") == "worker_fault":
+            kind = str(event.get("fault", "?"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+    return by_kind
+
+
 def worker_ids(events: Iterable[dict]) -> tuple[int, ...]:
     """Distinct worker pids whose merged events appear in a trace.
 
@@ -274,6 +290,7 @@ class ObsReport:
         default_factory=lambda: SpanNode(name="<root>", path="")
     )
     workers: tuple[int, ...] = ()
+    worker_faults: dict[str, int] = field(default_factory=dict)
     n_events: int = 0
 
     @classmethod
@@ -287,6 +304,7 @@ class ObsReport:
             histograms=aggregate_histograms(events),
             span_tree=build_span_tree(events),
             workers=worker_ids(events),
+            worker_faults=aggregate_worker_faults(events),
             n_events=len(events),
         )
 
@@ -307,6 +325,12 @@ class ObsReport:
                 f"  merged events from {self.n_workers} worker "
                 f"process(es): {list(self.workers)}"
             )
+        if self.worker_faults:
+            kinds = ", ".join(
+                f"{kind}={n}"
+                for kind, n in sorted(self.worker_faults.items())
+            )
+            lines.append(f"  worker faults absorbed: {kinds}")
         body = render_metrics(
             [
                 {"type": "counter", "name": name, "value": value}
@@ -337,6 +361,14 @@ def render_report(source: "Iterable[dict] | str | Path") -> str:
         parts.append(
             f"workers: merged events from {len(workers)} forked "
             f"process(es)"
+        )
+    faults = aggregate_worker_faults(events)
+    if faults:
+        parts.append(
+            "worker faults absorbed: "
+            + ", ".join(
+                f"{kind}={n}" for kind, n in sorted(faults.items())
+            )
         )
     for title, body in sections:
         parts.append(f"\n{title}\n{'-' * len(title)}\n{body}")

@@ -21,6 +21,15 @@ Results are **bit-identical to the serial path at any worker count**:
 every fan-out in the repo reduces in deterministic (shard/item) order
 and the per-item work is pure, so parallelism changes wall-clock only.
 See ``docs/PERFORMANCE.md`` for the performance model.
+
+Execution is **supervised** (:mod:`repro.parallel.supervise`): a worker
+that is SIGKILLed, crashes, wedges past its deadline, or produces an
+unpicklable result never hangs the caller.  Affected items are retried
+in re-forked workers and, past the retry budget, run inline serially —
+the caller still gets complete, bit-identical results, and every
+incident is surfaced as a typed :class:`WorkerFault` obs event plus the
+``parallel.worker_faults`` counter.  :func:`worker_chaos` is the
+test-only hook the chaos harness uses to plant such faults.
 """
 
 from .pool import (
@@ -32,9 +41,22 @@ from .pool import (
     resolve_workers,
 )
 from .shard import shard_bounds, shard_relation
+from .supervise import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_TASK_TIMEOUT,
+    WORKER_FAULT_KINDS,
+    WorkerFault,
+    WorkerTaskError,
+    worker_chaos,
+)
 
 __all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_TASK_TIMEOUT",
+    "WORKER_FAULT_KINDS",
+    "WorkerFault",
     "WorkerPool",
+    "WorkerTaskError",
     "as_pool",
     "fork_available",
     "get_shared",
@@ -42,4 +64,5 @@ __all__ = [
     "resolve_workers",
     "shard_bounds",
     "shard_relation",
+    "worker_chaos",
 ]

@@ -37,6 +37,11 @@ import os
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from .. import obs
+from .supervise import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_TASK_TIMEOUT,
+    run_supervised,
+)
 
 _WORKER_SHARED: Any = None
 _WORKER_CAPTURE: bool = False
@@ -95,16 +100,6 @@ def _worker_init(shared: Any, capture: bool) -> None:
     obs.configure(None)
 
 
-def _invoke(payload: tuple) -> tuple:
-    """Run one task in a worker, capturing its obs events if asked."""
-    task, item = payload
-    if _WORKER_CAPTURE:
-        with obs.tracing(obs.MemorySink()) as sink:
-            result = task(item)
-        return result, sink.events, os.getpid()
-    return task(item), None, 0
-
-
 class WorkerPool:
     """A reusable worker-count + shard-size policy for sharded stages.
 
@@ -124,19 +119,47 @@ class WorkerPool:
         smaller than this, so tiny inputs run serial even at high
         worker counts (fan-out overhead would dominate).  Tests pass
         ``1`` to force the parallel path on small fixtures.
+    task_timeout:
+        Per-task progress deadline in seconds (default a generous
+        backstop, :data:`~repro.parallel.DEFAULT_TASK_TIMEOUT`): a
+        worker holding work that reports nothing for this long is
+        presumed wedged, killed, and its items retried.  ``None``
+        disables hang detection (death detection stays on).
+    max_retries:
+        How many times one item is re-dispatched to workers after a
+        fault before degrading to inline serial execution.
+
+    After each ``map``/``imap`` call, :attr:`last_faults` holds the
+    tuple of :class:`~repro.parallel.WorkerFault` incidents the
+    supervisor absorbed (empty on a healthy run).
     """
 
-    __slots__ = ("workers", "min_shard_rows")
+    __slots__ = (
+        "workers",
+        "min_shard_rows",
+        "task_timeout",
+        "max_retries",
+        "last_faults",
+    )
 
     def __init__(
         self,
         workers: int | None = 1,
         min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+        task_timeout: "float | None" = DEFAULT_TASK_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ):
         self.workers = resolve_workers(workers)
         if min_shard_rows < 1:
             raise ValueError("min_shard_rows must be >= 1")
         self.min_shard_rows = int(min_shard_rows)
+        if task_timeout is not None and not task_timeout > 0:
+            raise ValueError("task_timeout must be positive or None")
+        self.task_timeout = task_timeout
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = int(max_retries)
+        self.last_faults: tuple = ()
 
     @property
     def parallel(self) -> bool:
@@ -172,23 +195,21 @@ class WorkerPool:
         read-only ``shared`` state via :func:`get_shared`.  Results come
         back in item order regardless of completion order — the
         deterministic reduction every bit-identical stage relies on.
+
+        Collection is supervised (see :mod:`repro.parallel.supervise`):
+        a worker that dies or wedges mid-item never hangs the call —
+        its items are retried in a re-forked worker and, past the retry
+        budget, run inline serially, so the returned list is always
+        complete and bit-identical to a serial run of pure tasks.
         """
         items = list(items)
         if not self.parallel or len(items) <= 1:
+            self.last_faults = ()
             return _serial_map(task, items, shared)
-        capture = obs.enabled()
-        chunksize = max(1, len(items) // (self.workers * 4))
-        ctx = mp.get_context("fork")
-        with ctx.Pool(
-            self.workers,
-            initializer=_worker_init,
-            initargs=(shared, capture),
-        ) as pool:
-            outs = pool.map(
-                _invoke,
-                [(task, item) for item in items],
-                chunksize=chunksize,
-            )
+        chunk_size = max(1, len(items) // (self.workers * 4))
+        outs: list = [None] * len(items)
+        for index, payload in self._supervised(items, task, shared, chunk_size):
+            outs[index] = payload
         return [_merge_out(out) for out in outs]
 
     def imap(
@@ -198,29 +219,58 @@ class WorkerPool:
         shared: Any = None,
     ) -> Iterator[Any]:
         """Like :meth:`map`, but yields results as they complete **in
-        item order**, so a budget-aware caller can stop consuming early
-        (the pool is terminated when the generator is closed)."""
+        item order**, so a budget-aware caller can stop consuming early.
+
+        The workers are torn down (shutdown sentinel, bounded join,
+        then kill) whenever the generator ends — normal exhaustion, a
+        consumer that raises mid-iteration, or one that abandons the
+        generator early — so no orphaned fork processes outlive a
+        failed stage.
+        """
         items = list(items)
         if not self.parallel or len(items) <= 1:
+            self.last_faults = ()
             for result in _serial_imap(task, items, shared):
                 yield result
             return
-        capture = obs.enabled()
-        ctx = mp.get_context("fork")
-        with ctx.Pool(
-            self.workers,
-            initializer=_worker_init,
-            initargs=(shared, capture),
-        ) as pool:
-            for out in pool.imap(
-                _invoke, [(task, item) for item in items], chunksize=1
-            ):
-                yield _merge_out(out)
+        buffered: dict[int, tuple] = {}
+        next_index = 0
+        for index, payload in self._supervised(items, task, shared, 1):
+            buffered[index] = payload
+            while next_index in buffered:
+                yield _merge_out(buffered.pop(next_index))
+                next_index += 1
+
+    def _supervised(
+        self, items: list, task: Callable, shared: Any, chunk_size: int
+    ) -> Iterator[tuple]:
+        """Run the supervised engine, guaranteeing teardown and
+        publishing :attr:`last_faults` however the consumer leaves."""
+        faults: list = []
+        engine = run_supervised(
+            task,
+            items,
+            shared,
+            workers=min(self.workers, len(items)),
+            capture=obs.enabled(),
+            chunk_size=chunk_size,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            max_reforks=self.workers,
+            faults=faults,
+        )
+        try:
+            yield from engine
+        finally:
+            engine.close()
+            self.last_faults = tuple(faults)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"WorkerPool(workers={self.workers}, "
-            f"min_shard_rows={self.min_shard_rows})"
+            f"min_shard_rows={self.min_shard_rows}, "
+            f"task_timeout={self.task_timeout}, "
+            f"max_retries={self.max_retries})"
         )
 
 

@@ -18,19 +18,31 @@ Five pillars keep the pipeline production-safe:
   closing the loop: quarantine, budgeted warm-started re-synthesis,
   held-out validation, atomic guardrail hot-swap with rollback;
 * :mod:`~repro.resilience.chaos` — a fault-injection harness proving
-  every fault class (including drift-shaped ones) yields a
-  policy-conformant outcome.
+  every fault class (including drift-shaped and process-level ones)
+  yields a policy-conformant outcome, and
+  :mod:`~repro.resilience.chaos_load` — the same faults injected into
+  a live :class:`repro.serve.GuardServer` under a closed-loop client
+  fleet, judged at the service level (zero lost requests, verdict
+  parity, recovery).
 """
 
 from .budget import Budget, BudgetExceeded
 from .chaos import (
     FAULT_CLASSES,
+    WORKER_FAULT_CLASSES,
     ChaosOutcome,
     chaos_program,
     chaos_relation,
     render_chaos_report,
     run_chaos_suite,
     run_fault,
+)
+from .chaos_load import (
+    LOAD_FAULT_CLASSES,
+    LoadOutcome,
+    render_load_report,
+    run_load_fault,
+    run_load_suite,
 )
 from .drift import (
     DRIFT_KINDS,
@@ -87,10 +99,16 @@ __all__ = [
     "HealOutcome",
     "GuardrailSupervisor",
     "FAULT_CLASSES",
+    "WORKER_FAULT_CLASSES",
     "ChaosOutcome",
     "chaos_relation",
     "chaos_program",
     "run_fault",
     "run_chaos_suite",
     "render_chaos_report",
+    "LOAD_FAULT_CLASSES",
+    "LoadOutcome",
+    "run_load_fault",
+    "run_load_suite",
+    "render_load_report",
 ]

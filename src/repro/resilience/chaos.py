@@ -4,7 +4,9 @@ TorchQL-style integrity checking has to survive messy real inputs; this
 module makes that an executable claim.  Each *fault class* injects one
 production failure mode into a guarded pipeline — a guard that raises,
 a guard that stalls, a model that throws, values the codecs never saw,
-malformed and ragged rows, mid-stream schema drift — and the harness
+malformed and ragged rows, mid-stream schema drift, a forked worker
+SIGKILLed or wedged mid-shard, a result that cannot cross the pickle
+boundary — and the harness
 verifies the outcome is exactly what the configured
 :class:`~repro.resilience.GuardPolicy` dictates: ``strict`` fails the
 query with a typed error, ``warn``/``pass_through`` complete with rows
@@ -46,8 +48,20 @@ FAULT_CLASSES = (
     "schema_drift",
     "marginal_shift",
     "unseen_burst",
+    "worker_killed",
+    "worker_hang",
+    "poisoned_result",
 )
 """Every fault class the harness can inject, in suite order."""
+
+WORKER_FAULT_CLASSES = (
+    "worker_killed",
+    "worker_hang",
+    "poisoned_result",
+)
+"""The process-level subset: faults injected below Python, into the
+forked workers of :class:`repro.parallel.WorkerPool` (see
+``repro chaos --worker-faults``)."""
 
 
 @dataclass
@@ -554,6 +568,118 @@ def _fault_schema_drift(policy: GuardPolicy) -> ChaosOutcome:
     return _judge_stream("schema_drift", policy, drifted, set())
 
 
+# ---------------------------------------------------------------------------
+# Process-level fault classes: the supervised pool must recover
+# ---------------------------------------------------------------------------
+
+
+def _worker_fault_fixture():
+    """A guardrail + relation big enough to shard across two workers.
+
+    A few cells are corrupted so the violation mask is non-trivial —
+    a lost shard that silently came back all-False would be caught.
+    """
+    from ..synth import Guardrail
+
+    relation = chaos_relation(copies=64)
+    relation = relation.set_cell(3, "City", "Austin")
+    relation = relation.set_cell(70, "State", "NY")
+    relation = relation.set_cell(200, "City", "Berkeley")
+    guardrail = Guardrail.from_program(chaos_program())
+    return guardrail, relation
+
+
+def _worker_fault_outcome(
+    name: str,
+    policy: GuardPolicy,
+    *,
+    fault: str,
+    times: int = 1,
+    task_timeout: float = 30.0,
+    max_retries: int = 1,
+    expect_kind: str,
+) -> ChaosOutcome:
+    """Inject one process-level fault into sharded detection and judge.
+
+    Like self-healing, surviving a dead worker is orthogonal to the
+    degradation policy (the guard itself never failed — its substrate
+    did), so the conformance bar is the same under every
+    :class:`GuardPolicy`: the call returns (no hang), the mask is
+    bit-identical to a serial reference, and the incident was recorded
+    as a typed :class:`~repro.parallel.WorkerFault` of the expected
+    kind.
+    """
+    from ..parallel import WorkerPool, fork_available, worker_chaos
+
+    if not fork_available():  # pragma: no cover - linux has fork
+        return ChaosOutcome(
+            name, policy, True, "skipped: platform lacks fork"
+        )
+    guardrail, relation = _worker_fault_fixture()
+    n_rows = relation.n_rows
+    # Fresh views per call: detection results are cached per relation
+    # identity, and a cache hit would make the injection a no-op.
+    reference = guardrail.check(relation.slice_rows(0, n_rows))
+    pool = WorkerPool(
+        2,
+        min_shard_rows=1,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+    )
+    started = time.perf_counter()
+    with worker_chaos(fault, item=1, times=times, hang_seconds=30.0):
+        mask = guardrail.check(relation.slice_rows(0, n_rows), pool=pool)
+    elapsed = time.perf_counter() - started
+    if not np.array_equal(mask, reference):
+        return ChaosOutcome(
+            name, policy, False,
+            "recovered mask diverges from the serial reference",
+        )
+    kinds = [f.kind for f in pool.last_faults]
+    if expect_kind not in kinds:
+        return ChaosOutcome(
+            name, policy, False,
+            f"no WorkerFault of kind {expect_kind!r} recorded "
+            f"(got {kinds or 'none'})",
+        )
+    return ChaosOutcome(
+        name, policy, True,
+        f"bit-identical after {len(kinds)} fault(s) "
+        f"[{', '.join(sorted(set(kinds)))}] in {elapsed:.2f}s",
+    )
+
+
+def _fault_worker_killed(policy: GuardPolicy) -> ChaosOutcome:
+    """A worker is SIGKILLed mid-shard; its shard is retried re-forked."""
+    return _worker_fault_outcome(
+        "worker_killed", policy, fault="kill", expect_kind="worker_died"
+    )
+
+
+def _fault_worker_hang(policy: GuardPolicy) -> ChaosOutcome:
+    """A worker wedges past the progress deadline; it is killed and its
+    shard retried — the caller never blocks on it."""
+    return _worker_fault_outcome(
+        "worker_hang",
+        policy,
+        fault="hang",
+        task_timeout=0.5,
+        expect_kind="task_deadline",
+    )
+
+
+def _fault_poisoned_result(policy: GuardPolicy) -> ChaosOutcome:
+    """A worker's result cannot cross the pickle boundary, every time;
+    retries exhaust and the shard degrades to inline serial execution."""
+    return _worker_fault_outcome(
+        "poisoned_result",
+        policy,
+        fault="unpicklable",
+        times=8,  # outlives any retry budget: forces the inline fallback
+        expect_kind="result_unpicklable",
+    )
+
+
 _FAULTS = {
     "raising_guard": _fault_raising_guard,
     "slow_guard": _fault_slow_guard,
@@ -563,6 +689,9 @@ _FAULTS = {
     "schema_drift": _fault_schema_drift,
     "marginal_shift": _fault_marginal_shift,
     "unseen_burst": _fault_unseen_burst,
+    "worker_killed": _fault_worker_killed,
+    "worker_hang": _fault_worker_hang,
+    "poisoned_result": _fault_poisoned_result,
 }
 
 _RNG_FAULTS = {"marginal_shift", "unseen_burst"}

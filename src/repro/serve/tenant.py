@@ -57,6 +57,7 @@ class TenantMetrics:
     batches: int = 0
     rows_flushed: int = 0
     swaps: int = 0
+    batcher_restarts: int = 0
     queue_high_water: int = 0
     queued_ms_total: float = 0.0
     service_ms_total: float = 0.0
@@ -103,6 +104,7 @@ class TenantMetrics:
             "batches": self.batches,
             "rows_flushed": self.rows_flushed,
             "swaps": self.swaps,
+            "batcher_restarts": self.batcher_restarts,
             "queue_high_water": self.queue_high_water,
             "mean_batch_fill": self.mean_batch_fill,
             "mean_service_ms": self.mean_service_ms,
@@ -258,16 +260,25 @@ class Tenant:
         while True:
             batch = [await self.queue.get()]
             deadline = loop.time() + config.max_wait_ms / 1000.0
-            while len(batch) < config.max_batch:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(self.queue.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    break
+            try:
+                while len(batch) < config.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(
+                                self.queue.get(), remaining
+                            )
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            except asyncio.CancelledError:
+                # Killed (chaos, ``stop(drain=False)``) with a batch in
+                # hand: the in-hand requests must not be stranded —
+                # resolve them with typed ERROR responses, then die.
+                self.fail_batch(batch, "batcher cancelled before flush")
+                raise
             try:
                 self.flush(batch)
             except Exception as error:
@@ -285,6 +296,42 @@ class Tenant:
             finally:
                 for _ in batch:
                     self.queue.task_done()
+
+    def fail_batch(self, batch: list, reason: str) -> None:
+        """Resolve a batch the batcher will never flush with typed
+        ERROR outcomes (and balance the queue's join accounting)."""
+        outcome = _FlushOutcome(
+            version=self.live_batch.version, error=reason
+        )
+        for pending in batch:
+            self._resolve(pending, outcome)
+            self.queue.task_done()
+
+    def fail_pending(self, reason: str) -> int:
+        """Drain every still-queued request into a typed ERROR response.
+
+        The shutdown backstop: after the batchers are gone (drain
+        deadline expired, or ``drain=False``), anything left in the
+        admission queue would otherwise await a future nobody will
+        resolve.  Returns how many requests were failed.
+        """
+        failed = 0
+        while True:
+            try:
+                pending = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._resolve(
+                pending,
+                _FlushOutcome(
+                    version=self.live_batch.version, error=reason
+                ),
+            )
+            self.queue.task_done()
+            failed += 1
+        if failed:
+            self.emit("serve.drain_expired", value=failed)
+        return failed
 
     def flush(self, batch: list) -> None:
         """Resolve one micro-batch: vet check/predict rows through the

@@ -8,6 +8,7 @@ sys.path.insert(0, str(TOOLS_DIR))
 
 from check_docstrings import (  # noqa: E402
     DOCUMENTED_SUBSYSTEMS,
+    find_chaos_gaps,
     find_undocumented_subsystems,
     find_violations,
 )
@@ -28,4 +29,13 @@ def test_every_subsystem_has_an_api_section():
     assert not missing, (
         "subsystem(s) missing their `## repro.<name>` section in "
         "docs/API.md:\n" + "\n".join(f"  {m}" for m in missing)
+    )
+
+
+def test_every_chaos_fault_class_registered_tested_documented():
+    gaps = find_chaos_gaps()
+    assert not gaps, (
+        "chaos fault-class gap(s) (run `python tools/"
+        "check_docstrings.py` for the list):\n"
+        + "\n".join(f"  {g}" for g in gaps)
     )

@@ -107,6 +107,116 @@ class TestLifecycle:
         assert all(r.ok for r in responses)
 
 
+class TestSupervisionAndDrain:
+    async def test_stop_drain_deadline_resolves_pending_typed(self):
+        """A batcher parked on a long accumulation window cannot hold
+        stop() hostage: the drain deadline expires, and every pending
+        request resolves with a typed ERROR response (never a hang)."""
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            # Huge batch + 10s wait: the batcher parks with the rows in
+            # hand and queue.join() cannot complete within the deadline.
+            TenantConfig(max_batch=64, max_wait_ms=10_000.0),
+        )
+        await server.start()
+        pending = [
+            asyncio.ensure_future(server.check("a", row))
+            for row in _rows(5)
+        ]
+        await asyncio.sleep(0.01)  # let the batcher take rows in hand
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        await server.stop(drain_timeout_seconds=0.05)
+        elapsed = loop.time() - started
+        assert elapsed < 5.0  # bounded by the deadline, not max_wait_ms
+        responses = await asyncio.gather(*pending)
+        assert all(r.status is ServeStatus.ERROR for r in responses)
+        assert all(r.error for r in responses)
+
+    async def test_stop_without_drain_fails_queued_typed(self):
+        """stop(drain=False) must not strand admitted futures: queued
+        requests resolve with typed ERROR instead of hanging forever."""
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            TenantConfig(max_batch=64, max_wait_ms=10_000.0),
+        )
+        await server.start()
+        pending = [
+            asyncio.ensure_future(server.check("a", row))
+            for row in _rows(4)
+        ]
+        await asyncio.sleep(0)  # enqueue, but before any flush
+        await server.stop(drain=False)
+        responses = await asyncio.wait_for(
+            asyncio.gather(*pending), timeout=5.0
+        )
+        assert all(r.status is ServeStatus.ERROR for r in responses)
+
+    async def test_killed_batcher_respawns_and_keeps_serving(self):
+        server = GuardServer()
+        server.register(
+            "a", _guardrail(), TenantConfig(max_batch=8, max_wait_ms=1.0)
+        )
+        async with server:
+            before = await server.check("a", _rows(1)[0])
+            assert before.ok
+            server.kill_batcher("a")
+            await asyncio.sleep(0.01)  # supervision respawns the task
+            tenant = server.tenant("a")
+            assert tenant.metrics.batcher_restarts >= 1
+            after = await asyncio.wait_for(
+                server.check("a", _rows(1)[0]), timeout=5.0
+            )
+            assert after.ok
+
+    async def test_kill_mid_batch_resolves_in_hand_typed(self):
+        """Requests in the batcher's hand when it is cancelled resolve
+        with typed ERROR, and traffic after the respawn succeeds."""
+        server = GuardServer()
+        server.register(
+            "a",
+            _guardrail(),
+            # A 2-row burst < max_batch with a long wait parks the
+            # batcher mid-accumulation, rows in hand.
+            TenantConfig(max_batch=8, max_wait_ms=10_000.0),
+        )
+        async with server:
+            burst = [
+                asyncio.ensure_future(server.check("a", row))
+                for row in _rows(2)
+            ]
+            await asyncio.sleep(0.01)
+            server.kill_batcher("a")
+            responses = await asyncio.wait_for(
+                asyncio.gather(*burst), timeout=5.0
+            )
+            assert all(
+                r.status is ServeStatus.ERROR and "cancelled" in r.error
+                for r in responses
+            )
+            await asyncio.sleep(0)  # let the respawn land
+            # A full max_batch burst flushes immediately (no wait
+            # window), proving the respawned batcher serves traffic.
+            recovered = await asyncio.wait_for(
+                asyncio.gather(
+                    *(server.check("a", row) for row in _rows(8))
+                ),
+                timeout=5.0,
+            )
+            assert all(r.ok for r in recovered)
+            assert server.tenant("a").metrics.batcher_restarts >= 1
+
+    async def test_kill_unknown_tenant_raises(self):
+        server = GuardServer()
+        async with server:
+            with pytest.raises(KeyError, match="unknown tenant"):
+                server.kill_batcher("ghost")
+
+
 class TestBatchedVerdictParity:
     async def test_verdicts_match_direct_serial_batch_guard(self):
         """Micro-batched service verdicts are bit-identical to a

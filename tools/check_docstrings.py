@@ -12,6 +12,13 @@ A second gate keeps ``docs/API.md`` honest: every subsystem in
 section there, so a new package (e.g. ``repro.parallel``) cannot land
 without reference documentation.
 
+A third gate keeps the chaos harness honest: every fault class —
+unit (``repro.resilience.chaos``) and load
+(``repro.resilience.chaos_load``) — must be registered in its
+module's injector registry, exercised by a ``pytest -m chaos`` test,
+and listed in the ``docs/ARCHITECTURE.md`` fault table, so a fault
+class cannot be added without coverage and documentation.
+
 Run directly (``python tools/check_docstrings.py``) for a report and a
 non-zero exit on violations; ``tests/test_docstring_coverage.py`` wires
 the same checks into the default pytest run.
@@ -155,10 +162,84 @@ def find_undocumented_subsystems(doc_path: Path = API_DOC) -> list[str]:
     return missing
 
 
+ARCHITECTURE_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+TESTS_ROOT = REPO_ROOT / "tests"
+
+
+def _chaos_marked_test_text(tests_root: Path = TESTS_ROOT) -> str:
+    """Concatenated source of every test file carrying the chaos mark."""
+    parts = []
+    for path in sorted(tests_root.glob("test_*.py")):
+        text = path.read_text(encoding="utf-8")
+        if "pytest.mark.chaos" in text:
+            parts.append(text)
+    return "\n".join(parts)
+
+
+def find_chaos_gaps() -> list[str]:
+    """Fault classes missing registration, chaos tests, or docs.
+
+    Checks three invariants for every chaos fault class:
+
+    * **registered** — the public registry tuple matches the module's
+      injector mapping exactly (same names, same order for the unit
+      harness);
+    * **tested** — a ``pytest -m chaos`` test file names the fault or
+      parametrizes over its registry constant;
+    * **documented** — the fault appears in the
+      ``docs/ARCHITECTURE.md`` fault-class table.
+    """
+    sys.path.insert(0, str(PACKAGE_ROOT.parent))
+    try:
+        from repro.resilience import chaos, chaos_load
+    finally:
+        sys.path.pop(0)
+    problems: list[str] = []
+    if chaos.FAULT_CLASSES != tuple(chaos._FAULTS):
+        problems.append(
+            "repro.resilience.chaos: FAULT_CLASSES does not match the "
+            "_FAULTS injector registry"
+        )
+    if not set(chaos.WORKER_FAULT_CLASSES) <= set(chaos.FAULT_CLASSES):
+        problems.append(
+            "repro.resilience.chaos: WORKER_FAULT_CLASSES is not a "
+            "subset of FAULT_CLASSES"
+        )
+    if set(chaos_load.LOAD_FAULT_CLASSES) != set(chaos_load._INJECTORS):
+        problems.append(
+            "repro.resilience.chaos_load: LOAD_FAULT_CLASSES does not "
+            "match the _INJECTORS registry"
+        )
+    chaos_tests = _chaos_marked_test_text()
+    architecture = (
+        ARCHITECTURE_DOC.read_text(encoding="utf-8")
+        if ARCHITECTURE_DOC.exists()
+        else ""
+    )
+    registries = (
+        ("FAULT_CLASSES", chaos.FAULT_CLASSES),
+        ("LOAD_FAULT_CLASSES", chaos_load.LOAD_FAULT_CLASSES),
+    )
+    for constant, faults in registries:
+        for fault in faults:
+            if fault not in chaos_tests and constant not in chaos_tests:
+                problems.append(
+                    f"fault class {fault!r}: no `pytest -m chaos` test "
+                    f"names it (or parametrizes over {constant})"
+                )
+            if fault not in architecture:
+                problems.append(
+                    f"fault class {fault!r}: missing from the "
+                    "docs/ARCHITECTURE.md fault table"
+                )
+    return problems
+
+
 def main() -> int:
     """CLI entry: print violations, exit 1 when any exist."""
     violations = find_violations()
     undocumented = find_undocumented_subsystems()
+    chaos_gaps = find_chaos_gaps()
     if violations:
         print(
             f"{len(violations)} public definition(s) missing docstrings:"
@@ -169,12 +250,20 @@ def main() -> int:
         print(f"{len(undocumented)} subsystem(s) missing API docs:")
         for entry in undocumented:
             print(f"  {entry}")
-    if violations or undocumented:
+    if chaos_gaps:
+        print(f"{len(chaos_gaps)} chaos fault-class gap(s):")
+        for entry in chaos_gaps:
+            print(f"  {entry}")
+    if violations or undocumented or chaos_gaps:
         return 1
     print("docstring coverage: 100% of the public API")
     print(
         f"API docs: all {len(DOCUMENTED_SUBSYSTEMS)} subsystems have "
         f"sections in {API_DOC.relative_to(REPO_ROOT)}"
+    )
+    print(
+        "chaos gate: every fault class is registered, chaos-tested, "
+        "and documented"
     )
     return 0
 
