@@ -79,8 +79,8 @@ async def _drive(server: GuardServer, names, rows) -> int:
     return completed
 
 
-def _measure(program, rows) -> dict:
-    server = GuardServer()
+def _measure(program, rows, state_dir=None) -> dict:
+    server = GuardServer(state_dir=state_dir)
     names = [f"tenant-{i}" for i in range(_TENANTS)]
     for name in names:
         server.register(
@@ -163,6 +163,74 @@ def test_serve_latency_and_throughput(workload):
     # The latency bound the config promises: one max_wait window plus
     # generous flush/scheduling headroom.
     assert measurements["p95_ms"] < 250.0
+
+
+def _record_durable(measurements: dict) -> str:
+    """Record (or report) the durable variant in ``BENCH_serve.json``."""
+    payload = (
+        json.loads(_BASELINE.read_text()) if _BASELINE.exists() else {}
+    )
+    if os.environ.get("REPRO_UPDATE_BENCH") == "1" or (
+        "durable" not in payload
+    ):
+        payload["durable"] = measurements
+        payload.setdefault("trajectory", [])
+        _BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        return f"durable entry written to {_BASELINE.name}"
+    reference = payload["durable"]
+    return (
+        f"recorded durable: {reference['throughput_rps']:.0f} req/s, "
+        f"p95 {reference['p95_ms']:.2f} ms"
+    )
+
+
+def test_durable_serve_overhead_within_bound(workload, tmp_path):
+    """The durable variant (``state_dir=``) stays within 10% of the
+    in-memory server on throughput and p95 — steady-state traffic is
+    never journaled, so the WAL must cost nothing on the hot path."""
+    program, rows = workload
+
+    def ratios(attempt: int):
+        baseline = _measure(program, rows)
+        durable = _measure(
+            program, rows, state_dir=tmp_path / f"state-{attempt}"
+        )
+        return (
+            durable,
+            durable["throughput_rps"] / baseline["throughput_rps"],
+            durable["p95_ms"] / max(baseline["p95_ms"], 1e-9),
+        )
+
+    durable, throughput_ratio, p95_ratio = ratios(0)
+    if throughput_ratio < 0.90 or p95_ratio > 1.10:
+        # One retry absorbs scheduler jitter on a loaded machine.
+        durable, throughput_ratio, p95_ratio = ratios(1)
+
+    measurements = dict(
+        durable,
+        throughput_ratio=throughput_ratio,
+        p95_ratio=p95_ratio,
+    )
+    banner(
+        "Durable serving overhead (state_dir journal)",
+        "\n".join(
+            [
+                f"durable throughput {durable['throughput_rps']:10.0f} "
+                f"req/s ({throughput_ratio:.1%} of in-memory)",
+                f"durable p95        {durable['p95_ms']:10.2f} ms "
+                f"({p95_ratio:.1%} of in-memory)",
+            ]
+        )
+        + "\n"
+        + _record_durable(measurements),
+    )
+    assert throughput_ratio >= 0.90, (
+        f"durable serving lost {1 - throughput_ratio:.1%} throughput "
+        f"(bound: 10%)"
+    )
+    assert p95_ratio <= 1.10, (
+        f"durable serving inflated p95 by {p95_ratio - 1:.1%} (bound: 10%)"
+    )
 
 
 def test_committed_baseline_exists():

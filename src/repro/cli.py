@@ -240,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         "SIGKILL/hang/poisoned result in the supervised pool)",
     )
     chaos.add_argument(
+        "--durability",
+        action="store_true",
+        help="run only the disk-fault classes (torn journal tail, "
+        "corrupt snapshot, disk full, crash+restart) against the "
+        "durable state store",
+    )
+    chaos.add_argument(
         "--load",
         action="store_true",
         help="run the chaos-under-load suite instead: faults injected "
@@ -332,6 +339,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-size", type=int, default=1024, metavar="Q",
         help="per-tenant admission queue bound (default 1024)",
+    )
+    serve.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="make the server durable: write-ahead journal + "
+        "snapshots under DIR; registrations/swaps/quarantined rows "
+        "survive a crash (recover with `repro recover DIR`)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="inspect and replay a durable guard-server state "
+        "directory (repro.resilience.durability)",
+    )
+    add_trace_flag(recover)
+    recover.add_argument(
+        "state_dir", type=Path,
+        help="state directory a `repro serve --state-dir` run wrote",
+    )
+    recover.add_argument(
+        "--repair", action="store_true",
+        help="also truncate a torn journal tail on disk (recovery "
+        "itself is read-only by default)",
     )
 
     return parser
@@ -549,6 +578,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .resilience import (
+        DURABILITY_FAULT_CLASSES,
         FAULT_CLASSES,
         LOAD_FAULT_CLASSES,
         WORKER_FAULT_CLASSES,
@@ -578,6 +608,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 0 if all(o.conformant for o in outcomes) else 1
     if args.worker_faults:
         default_faults = WORKER_FAULT_CLASSES
+    elif args.durability:
+        default_faults = DURABILITY_FAULT_CLASSES
     else:
         default_faults = FAULT_CLASSES
     faults = tuple(args.fault) if args.fault else default_faults
@@ -687,7 +719,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def drive() -> GuardServer:
-        server = GuardServer()
+        server = GuardServer(state_dir=args.state_dir)
         names = [f"tenant-{i}" for i in range(args.tenants)]
         for name in names:
             server.register(name, guardrail, config)
@@ -721,6 +753,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({args.clients} clients x {args.requests} requests; "
         f"{flagged} degraded verdicts)"
     )
+    if args.state_dir is not None:
+        print(f"durable state journaled under {args.state_dir}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .resilience.durability import (
+        JOURNAL_NAME,
+        DurabilityError,
+        WriteAheadJournal,
+        recover_runtime_state,
+    )
+
+    try:
+        folded, recovered = recover_runtime_state(args.state_dir)
+    except DurabilityError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 2
+    print(f"state directory: {args.state_dir}")
+    print(
+        f"snapshot: generation {recovered.snapshot_generation} "
+        f"({recovered.snapshot_generations} on disk, "
+        f"{recovered.rejected_snapshots} rejected as corrupt)"
+    )
+    print(
+        f"journal: {recovered.replayed_records} record(s) replayed, "
+        f"{recovered.truncated_tail_bytes} torn tail byte(s) discarded, "
+        f"last committed seq {recovered.last_seq}"
+    )
+    for name, tenant in folded["tenants"].items():
+        print(
+            f"  tenant {name}: version {tenant['cursor'] + 1} of "
+            f"{len(tenant['programs'])}, "
+            f"{len(tenant['quarantine'])} quarantined row(s) "
+            f"({tenant['quarantine_dropped']} dropped)"
+        )
+    if not folded["tenants"]:
+        print("  no tenants committed")
+    if args.repair and recovered.truncated_tail_bytes:
+        journal = WriteAheadJournal(args.state_dir / JOURNAL_NAME)
+        repaired = journal.repair()
+        print(f"repaired: truncated {repaired} torn tail byte(s)")
     return 0
 
 
@@ -735,6 +809,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "drift": _cmd_drift,
     "serve": _cmd_serve,
+    "recover": _cmd_recover,
 }
 
 

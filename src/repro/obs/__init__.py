@@ -24,6 +24,7 @@ from .report import (
     SpanNode,
     aggregate_counters,
     aggregate_histograms,
+    aggregate_durability,
     aggregate_worker_faults,
     build_span_tree,
     render_drift_dashboard,
@@ -85,6 +86,7 @@ __all__ = [
     "render_span_tree",
     "aggregate_counters",
     "aggregate_histograms",
+    "aggregate_durability",
     "aggregate_worker_faults",
     "render_metrics",
     "render_drift_dashboard",

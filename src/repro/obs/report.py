@@ -251,6 +251,40 @@ def aggregate_worker_faults(events: Iterable[dict]) -> dict[str, int]:
     return by_kind
 
 
+DURABILITY_COUNTERS = (
+    "recovery.replayed_records",
+    "recovery.truncated_tail_bytes",
+    "recovery.rejected_snapshots",
+    "snapshot.generations",
+    "durability.snapshots",
+    "durability.append_errors",
+    "durability.quarantine_unjournaled",
+    "durability.stop_snapshot_failed",
+)
+"""Counters the durability layer (:mod:`repro.resilience.durability`)
+emits; the subset present in a trace forms the report's durability
+section."""
+
+
+def aggregate_durability(events: Iterable[dict]) -> dict[str, int]:
+    """Collect the durability/recovery counters present in a trace.
+
+    One entry per :data:`DURABILITY_COUNTERS` name observed; an empty
+    dict means the trace never touched a durable state store.  Mirrors
+    :func:`aggregate_worker_faults` — every absorbed disk incident and
+    every recovery statistic is surfaced, never silently dropped.
+    """
+    totals: dict[str, int] = {}
+    wanted = set(DURABILITY_COUNTERS)
+    for event in events:
+        if event.get("type") != "counter":
+            continue
+        name = event.get("name")
+        if name in wanted:
+            totals[name] = totals.get(name, 0) + int(event.get("value", 1))
+    return totals
+
+
 def worker_ids(events: Iterable[dict]) -> tuple[int, ...]:
     """Distinct worker pids whose merged events appear in a trace.
 
@@ -291,6 +325,7 @@ class ObsReport:
     )
     workers: tuple[int, ...] = ()
     worker_faults: dict[str, int] = field(default_factory=dict)
+    durability: dict[str, int] = field(default_factory=dict)
     n_events: int = 0
 
     @classmethod
@@ -305,6 +340,7 @@ class ObsReport:
             span_tree=build_span_tree(events),
             workers=worker_ids(events),
             worker_faults=aggregate_worker_faults(events),
+            durability=aggregate_durability(events),
             n_events=len(events),
         )
 
@@ -331,6 +367,12 @@ class ObsReport:
                 for kind, n in sorted(self.worker_faults.items())
             )
             lines.append(f"  worker faults absorbed: {kinds}")
+        if self.durability:
+            stats = ", ".join(
+                f"{name}={n}"
+                for name, n in sorted(self.durability.items())
+            )
+            lines.append(f"  durability: {stats}")
         body = render_metrics(
             [
                 {"type": "counter", "name": name, "value": value}
@@ -368,6 +410,14 @@ def render_report(source: "Iterable[dict] | str | Path") -> str:
             "worker faults absorbed: "
             + ", ".join(
                 f"{kind}={n}" for kind, n in sorted(faults.items())
+            )
+        )
+    durability = aggregate_durability(events)
+    if durability:
+        parts.append(
+            "durability: "
+            + ", ".join(
+                f"{name}={n}" for name, n in sorted(durability.items())
             )
         )
     for title, body in sections:

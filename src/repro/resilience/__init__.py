@@ -18,16 +18,21 @@ Five pillars keep the pipeline production-safe:
   closing the loop: quarantine, budgeted warm-started re-synthesis,
   held-out validation, atomic guardrail hot-swap with rollback;
 * :mod:`~repro.resilience.chaos` — a fault-injection harness proving
-  every fault class (including drift-shaped and process-level ones)
-  yields a policy-conformant outcome, and
+  every fault class (including drift-shaped, process-level, and
+  disk-fault ones) yields a policy-conformant outcome, and
   :mod:`~repro.resilience.chaos_load` — the same faults injected into
   a live :class:`repro.serve.GuardServer` under a closed-loop client
   fleet, judged at the service level (zero lost requests, verdict
-  parity, recovery).
+  parity, recovery);
+* :mod:`~repro.resilience.durability` — the crash-safe state store
+  (write-ahead journal + atomic snapshot generations +
+  :func:`~repro.resilience.durability.recover`) that makes hot-swaps,
+  quarantine contents, and drift baselines survive process death.
 """
 
 from .budget import Budget, BudgetExceeded
 from .chaos import (
+    DURABILITY_FAULT_CLASSES,
     FAULT_CLASSES,
     WORKER_FAULT_CLASSES,
     ChaosOutcome,
@@ -36,6 +41,22 @@ from .chaos import (
     render_chaos_report,
     run_chaos_suite,
     run_fault,
+)
+from .durability import (
+    DiskIO,
+    DurabilityError,
+    DurableStateStore,
+    FullDiskIO,
+    JournalRecord,
+    RecoveredState,
+    SnapshotStore,
+    TornWriteIO,
+    WriteAheadJournal,
+    atomic_write_text,
+    fold_runtime_state,
+    io_shim,
+    recover,
+    recover_runtime_state,
 )
 from .chaos_load import (
     LOAD_FAULT_CLASSES,
@@ -100,6 +121,7 @@ __all__ = [
     "GuardrailSupervisor",
     "FAULT_CLASSES",
     "WORKER_FAULT_CLASSES",
+    "DURABILITY_FAULT_CLASSES",
     "ChaosOutcome",
     "chaos_relation",
     "chaos_program",
@@ -111,4 +133,18 @@ __all__ = [
     "run_load_fault",
     "run_load_suite",
     "render_load_report",
+    "DurabilityError",
+    "DiskIO",
+    "TornWriteIO",
+    "FullDiskIO",
+    "io_shim",
+    "atomic_write_text",
+    "JournalRecord",
+    "WriteAheadJournal",
+    "SnapshotStore",
+    "DurableStateStore",
+    "RecoveredState",
+    "recover",
+    "recover_runtime_state",
+    "fold_runtime_state",
 ]

@@ -6,7 +6,8 @@ production failure mode into a guarded pipeline — a guard that raises,
 a guard that stalls, a model that throws, values the codecs never saw,
 malformed and ragged rows, mid-stream schema drift, a forked worker
 SIGKILLed or wedged mid-shard, a result that cannot cross the pickle
-boundary — and the harness
+boundary, a torn journal tail, a bit-rotted snapshot, a full state
+disk, a process SIGKILLed mid-commit — and the harness
 verifies the outcome is exactly what the configured
 :class:`~repro.resilience.GuardPolicy` dictates: ``strict`` fails the
 query with a typed error, ``warn``/``pass_through`` complete with rows
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -51,6 +53,10 @@ FAULT_CLASSES = (
     "worker_killed",
     "worker_hang",
     "poisoned_result",
+    "torn_journal_tail",
+    "corrupt_snapshot",
+    "disk_full",
+    "crash_restart",
 )
 """Every fault class the harness can inject, in suite order."""
 
@@ -62,6 +68,17 @@ WORKER_FAULT_CLASSES = (
 """The process-level subset: faults injected below Python, into the
 forked workers of :class:`repro.parallel.WorkerPool` (see
 ``repro chaos --worker-faults``)."""
+
+DURABILITY_FAULT_CLASSES = (
+    "torn_journal_tail",
+    "corrupt_snapshot",
+    "disk_full",
+    "crash_restart",
+)
+"""The disk-fault subset: faults injected through the durability
+layer's pluggable IO shim (torn writes, bit rot, ENOSPC) or below it
+(SIGKILL mid-commit), judged on committed-prefix recovery (see
+``repro chaos --durability``)."""
 
 
 @dataclass
@@ -680,6 +697,256 @@ def _fault_poisoned_result(policy: GuardPolicy) -> ChaosOutcome:
     )
 
 
+# ---------------------------------------------------------------------------
+# Disk-fault classes: the durability layer under fire
+# ---------------------------------------------------------------------------
+
+
+def _durability_fixture(state_dir, swaps: int = 5):
+    """Commit a reference event history into ``state_dir``.
+
+    Registers one tenant and hot-swaps it ``swaps`` times (with a
+    couple of quarantine pushes riding along), returning the store and
+    the folded state every committed-prefix check compares against.
+    """
+    from .durability import DurableStateStore, fold_runtime_state
+
+    store = DurableStateStore(state_dir, snapshot_every=None)
+    events = [("tenant_register", {"tenant": "acme", "config": {}, "program": "p1"})]
+    for n in range(2, swaps + 2):
+        events.append(("swap", {"tenant": "acme", "version": n, "program": f"p{n}"}))
+        if n % 2 == 0:
+            events.append(
+                ("quarantine_push", {"tenant": "acme", "row": {"City": f"x{n}"}})
+            )
+    records = [store.append(kind, **data) for kind, data in events]
+    expected = fold_runtime_state(None, records)
+    return store, records, expected
+
+
+def _judge_recovery(
+    name: str, policy: GuardPolicy, state_dir, expected: dict, want
+) -> ChaosOutcome:
+    """Shared committed-prefix judge for the disk fault classes.
+
+    Durability, like self-healing, is orthogonal to the degradation
+    policy — the guard never misbehaved, its disk did — so the
+    conformance bar is identical under every :class:`GuardPolicy`:
+    :func:`~repro.resilience.durability.recover` must return exactly
+    the committed prefix (``expected``), plus whatever fault-specific
+    diagnostics ``want(recovered)`` checks.
+    """
+    from .durability import fold_runtime_state, recover
+
+    recovered = recover(state_dir)
+    folded = fold_runtime_state(recovered.state, recovered.events)
+    if folded != expected:
+        return ChaosOutcome(
+            name, policy, False,
+            "recovered state diverges from the committed prefix",
+        )
+    problem = want(recovered)
+    if problem:
+        return ChaosOutcome(name, policy, False, problem)
+    return ChaosOutcome(
+        name, policy, True,
+        f"committed prefix intact: {recovered.replayed_records} record(s) "
+        f"replayed, {recovered.truncated_tail_bytes} tail byte(s) "
+        f"discarded, snapshot generation {recovered.snapshot_generation}",
+    )
+
+
+def _fault_torn_journal_tail(policy: GuardPolicy) -> ChaosOutcome:
+    """A crash mid-append leaves a torn journal tail; recovery truncates
+    to the last valid record and replays exactly the committed prefix."""
+    import tempfile
+
+    from .durability import JOURNAL_NAME, DurabilityError, TornWriteIO, io_shim
+
+    with tempfile.TemporaryDirectory(prefix="chaos-durability-") as state_dir:
+        store, _, expected = _durability_fixture(state_dir)
+        with io_shim(TornWriteIO(fail_on_append=1, keep_bytes=9)):
+            try:
+                store.append("swap", tenant="acme", version=99, program="torn")
+            except DurabilityError:
+                pass  # the torn append was never committed
+            else:
+                return ChaosOutcome(
+                    "torn_journal_tail", policy, False,
+                    "torn append did not surface a typed DurabilityError",
+                )
+
+        def want(recovered):
+            if recovered.truncated_tail_bytes <= 0:
+                return "no torn tail detected despite the torn write"
+            return None
+
+        outcome = _judge_recovery(
+            "torn_journal_tail", policy, state_dir, expected, want
+        )
+        if not outcome.conformant:
+            return outcome
+        # Reopening must repair the tail so new appends never
+        # interleave with garbage.
+        from .durability import DurableStateStore
+
+        reopened = DurableStateStore(state_dir, snapshot_every=None)
+        raw = (Path(state_dir) / JOURNAL_NAME).read_bytes()
+        if not raw.endswith(b"\n"):
+            return ChaosOutcome(
+                "torn_journal_tail", policy, False,
+                "reopen did not truncate the torn tail",
+            )
+        if reopened.last_seq != store.last_seq:
+            return ChaosOutcome(
+                "torn_journal_tail", policy, False,
+                "reopened store lost committed sequence numbers",
+            )
+        return outcome
+
+
+def _fault_corrupt_snapshot(policy: GuardPolicy) -> ChaosOutcome:
+    """The newest snapshot generation is bit-rotted; recovery rejects it
+    by checksum and falls back to the previous generation + journal."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="chaos-durability-") as state_dir:
+        store, _, expected = _durability_fixture(state_dir)
+        # Two generations, then corrupt the newest one.
+        store.state_provider = lambda: {"tenants": {}}
+        from .durability import fold_runtime_state, recover
+
+        pre = recover(state_dir)
+        folded = fold_runtime_state(pre.state, pre.events)
+        store.snapshot(folded)
+        store.append("swap", tenant="acme", version=90, program="p90")
+        post = recover(state_dir)
+        expected = fold_runtime_state(post.state, post.events)
+        store.snapshot(expected)
+        generations = sorted(Path(state_dir).glob("snapshot-*.json"))
+        newest = generations[-1]
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+
+        def want(recovered):
+            if recovered.rejected_snapshots < 1:
+                return "corrupt snapshot was not rejected"
+            if recovered.snapshot_generation == 0:
+                return "recovery did not fall back to a prior generation"
+            return None
+
+        return _judge_recovery(
+            "corrupt_snapshot", policy, state_dir, expected, want
+        )
+
+
+def _fault_disk_full(policy: GuardPolicy) -> ChaosOutcome:
+    """The state device hits ENOSPC mid-run: further commits surface a
+    typed error, nothing already committed is lost or corrupted."""
+    import tempfile
+
+    from .durability import DurabilityError, FullDiskIO, io_shim
+
+    with tempfile.TemporaryDirectory(prefix="chaos-durability-") as state_dir:
+        store, _, expected = _durability_fixture(state_dir)
+        with io_shim(FullDiskIO(capacity_bytes=0)):
+            try:
+                store.append("swap", tenant="acme", version=99, program="full")
+            except DurabilityError as error:
+                if error.path is None or error.__cause__ is None:
+                    return ChaosOutcome(
+                        "disk_full", policy, False,
+                        "DurabilityError lacks its path or cause",
+                    )
+            except OSError:
+                return ChaosOutcome(
+                    "disk_full", policy, False,
+                    "ENOSPC leaked as a raw OSError instead of a typed "
+                    "DurabilityError",
+                )
+            else:
+                return ChaosOutcome(
+                    "disk_full", policy, False,
+                    "append on a full disk did not raise",
+                )
+
+        def want(recovered):
+            if recovered.truncated_tail_bytes:
+                return "full-disk append corrupted the journal tail"
+            return None
+
+        return _judge_recovery("disk_full", policy, state_dir, expected, want)
+
+
+def _fault_crash_restart(policy: GuardPolicy) -> ChaosOutcome:
+    """A child process journaling events is SIGKILLed mid-stream; the
+    parent recovers every event the child acknowledged, and nothing
+    partial."""
+    import multiprocessing as mp
+    import os
+    import signal
+    import tempfile
+
+    from ..parallel import fork_available
+    from .durability import recover
+
+    if not fork_available():  # pragma: no cover - linux has fork
+        return ChaosOutcome(
+            "crash_restart", policy, True, "skipped: platform lacks fork"
+        )
+
+    def victim(state_dir, conn):
+        """Append events forever, acking each committed seq to the parent."""
+        from .durability import DurableStateStore
+
+        store = DurableStateStore(state_dir, snapshot_every=4)
+        store.state_provider = lambda: {"tenants": {}}
+        store.append("tenant_register", tenant="acme", config={}, program="p1")
+        conn.send(store.last_seq)
+        version = 1
+        while True:
+            version += 1
+            store.append(
+                "swap", tenant="acme", version=version, program=f"p{version}"
+            )
+            conn.send(store.last_seq)
+
+    with tempfile.TemporaryDirectory(prefix="chaos-durability-") as state_dir:
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        child = ctx.Process(target=victim, args=(state_dir, child_conn))
+        child.start()
+        child_conn.close()
+        acked = 0
+        try:
+            for _ in range(12):  # let a dozen commits land, then murder it
+                acked = parent_conn.recv()
+        finally:
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(timeout=10.0)
+            parent_conn.close()
+        recovered = recover(state_dir)
+        if recovered.last_seq < acked:
+            return ChaosOutcome(
+                "crash_restart", policy, False,
+                f"recovery lost acknowledged commits: last_seq "
+                f"{recovered.last_seq} < acked {acked}",
+            )
+        seqs = [record.seq for record in recovered.events]
+        if seqs != sorted(set(seqs)):
+            return ChaosOutcome(
+                "crash_restart", policy, False,
+                "journal replay yielded duplicate or unordered records",
+            )
+        return ChaosOutcome(
+            "crash_restart", policy, True,
+            f"all {acked} acknowledged commit(s) recovered "
+            f"(last_seq {recovered.last_seq}, "
+            f"{recovered.truncated_tail_bytes} torn byte(s) discarded)",
+        )
+
+
 _FAULTS = {
     "raising_guard": _fault_raising_guard,
     "slow_guard": _fault_slow_guard,
@@ -692,6 +959,10 @@ _FAULTS = {
     "worker_killed": _fault_worker_killed,
     "worker_hang": _fault_worker_hang,
     "poisoned_result": _fault_poisoned_result,
+    "torn_journal_tail": _fault_torn_journal_tail,
+    "corrupt_snapshot": _fault_corrupt_snapshot,
+    "disk_full": _fault_disk_full,
+    "crash_restart": _fault_crash_restart,
 }
 
 _RNG_FAULTS = {"marginal_shift", "unseen_burst"}

@@ -188,7 +188,19 @@ class DriftDetector:
         self._ewma = 0.0
         self._ewma_seen = 0
         self._tick = self.sample_every
+        self._journal = None
         self.rebase(reference, baseline_violation_rate)
+
+    def attach_journal(self, journal) -> None:
+        """Journal rebases through ``journal(kind, **data)``.
+
+        A rebase is a control-plane event (it redefines "normal" for
+        every later alert): the new baseline is journaled **before**
+        it takes effect, and a journal failure aborts the rebase with
+        the journal's typed error, leaving the current reference and
+        EWMA level active.
+        """
+        self._journal = journal
 
     @classmethod
     def from_training(
@@ -396,6 +408,16 @@ class DriftDetector:
         against the *old* reference cannot raise alerts against the
         new one.
         """
+        if self._journal is not None:
+            # May raise: rebase aborted, current reference intact.
+            self._journal(
+                "drift_rebase",
+                baseline_violation_rate=(
+                    float(baseline_violation_rate)
+                    if baseline_violation_rate is not None
+                    else self.baseline_violation_rate
+                ),
+            )
         references: dict[str, _Reference] = {}
         for attribute in self._attributes:
             if attribute not in reference.schema:

@@ -85,9 +85,34 @@ class QuarantineBuffer:
         self.dropped = 0
         self._rows: deque = deque()
         self._lock = threading.Lock()
+        self._journal = None
+
+    def attach_journal(self, journal) -> None:
+        """Journal pushes/drains through ``journal(kind, **data)``.
+
+        Quarantine traffic is *data-plane*: a journal write failure
+        (e.g. disk full) must not lose the row or surface an exception
+        to the guard path, so on failure the in-memory push proceeds
+        anyway and the incident is counted
+        (``durability.quarantine_unjournaled``) instead of raised —
+        the opposite of the control-plane contract
+        :meth:`GuardrailVersions.attach_journal` enforces.
+        """
+        self._journal = journal
+
+    def _journal_event(self, kind: str, **data) -> None:
+        """Best-effort data-plane journaling (count, never raise)."""
+        if self._journal is None:
+            return
+        try:
+            self._journal(kind, **data)
+        except Exception:
+            if obs.enabled():
+                obs.count("durability.quarantine_unjournaled")
 
     def push(self, row: Mapping[str, Hashable]) -> bool:
         """Quarantine one row; returns False when a row was dropped."""
+        self._journal_event("quarantine_push", row=dict(row))
         with self._lock:
             rows = self._rows
             if len(rows) < self.capacity:
@@ -104,6 +129,7 @@ class QuarantineBuffer:
 
     def drain(self) -> list:
         """Remove and return every quarantined row."""
+        self._journal_event("quarantine_drain")
         with self._lock:
             rows = list(self._rows)
             self._rows.clear()
@@ -113,6 +139,24 @@ class QuarantineBuffer:
         """The quarantined rows, oldest first (non-destructive)."""
         with self._lock:
             return list(self._rows)
+
+    def restore(self, rows: Iterable, dropped: int = 0) -> None:
+        """Replace the buffer's contents wholesale (crash recovery).
+
+        Used when rebuilding a tenant from the durability journal:
+        the rows were already journaled once, so this bypasses
+        :meth:`push` (and its journal hook) to avoid re-committing
+        them.  Overflow still applies.
+        """
+        with self._lock:
+            self._rows.clear()
+            for row in rows:
+                if len(self._rows) < self.capacity:
+                    self._rows.append(row)
+                elif self.overflow == "drop_oldest":
+                    self._rows.popleft()
+                    self._rows.append(row)
+            self.dropped = int(dropped)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -141,6 +185,19 @@ class GuardrailVersions:
         self._cursor = 0
         self._live: tuple[int, Guardrail] = (1, guardrail)
         self._lock = threading.RLock()
+        self._journal = None
+
+    def attach_journal(self, journal) -> None:
+        """Journal swaps/rollbacks through ``journal(kind, **data)``.
+
+        Version changes are *control-plane*: the event is journaled
+        **before** the new version activates (the write-ahead
+        contract), and a journal failure — e.g. the state disk is full
+        — aborts the swap/rollback with the journal's typed error
+        while the previous version **stays active**.  A version the
+        caller saw activate is therefore always recoverable.
+        """
+        self._journal = journal
 
     # ------------------------------------------------------------------
 
@@ -178,6 +235,21 @@ class GuardrailVersions:
                 return None
             return self._versions[self._cursor - 1]
 
+    def history(self) -> tuple[Guardrail, ...]:
+        """Every installed version, oldest first (the rollback chain).
+
+        Read atomically; with :attr:`cursor` this is the full durable
+        description of the holder — the durability layer snapshots it
+        and rebuilds an identical holder on recovery.
+        """
+        with self._lock:
+            return tuple(self._versions)
+
+    @property
+    def cursor(self) -> int:
+        """0-based index of the live version within :meth:`history`."""
+        return self._cursor
+
     def swap(self, guardrail: Guardrail) -> int:
         """Install ``guardrail`` as the live version; returns its number.
 
@@ -191,6 +263,14 @@ class GuardrailVersions:
                 f"{type(guardrail).__name__}; previous version stays live"
             )
         with self._lock:
+            if self._journal is not None:
+                from ..dsl import format_program
+
+                self._journal(  # may raise: swap aborted, state intact
+                    "swap",
+                    version=len(self._versions) + 1,
+                    program=format_program(guardrail.program),
+                )
             self._versions.append(guardrail)
             self._cursor = len(self._versions) - 1
             self._live = (self._cursor + 1, guardrail)
@@ -220,6 +300,9 @@ class GuardrailVersions:
                 raise RuntimeError(
                     "cannot roll back past the first version"
                 )
+            if self._journal is not None:
+                # May raise: rollback aborted, current version intact.
+                self._journal("rollback", to_version=self._cursor)
             self._cursor -= 1
             self._live = (self._cursor + 1, self._versions[self._cursor])
         if obs.enabled():

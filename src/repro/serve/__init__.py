@@ -20,7 +20,12 @@ package is the long-lived deployment front-end over the same machinery:
 * two execution modes per tenant (:class:`ServeMode`): *blocking*
   (the verdict gates the predict stage) and *parallel* (the predict
   stage races the guard; a tripwire voids its output) — the latency
-  / cost tradeoff from the openai-agents guardrails playbook.
+  / cost tradeoff from the openai-agents guardrails playbook;
+* optional durability (``GuardServer(state_dir=...)``): control-plane
+  events and quarantined rows are write-ahead journaled, snapshots
+  bound replay, and :meth:`GuardServer.recover` rebuilds every tenant
+  at its last committed version after a crash (``repro recover`` from
+  the CLI).
 
     server = GuardServer()
     server.register("acme", guardrail, TenantConfig(mode="blocking"))

@@ -69,6 +69,11 @@ class TenantConfig:
         probe.
     watchdog_seconds:
         Post-hoc slow-call watchdog on guard calls (None disables).
+    quarantine_capacity:
+        Bound of the tenant's :class:`~repro.resilience
+        .QuarantineBuffer` — rows whose verdicts tripped are held
+        there for the self-healing loop (and journaled when the
+        server runs with a ``state_dir``).
     """
 
     mode: "ServeMode | str" = ServeMode.BLOCKING
@@ -79,6 +84,7 @@ class TenantConfig:
     failure_threshold: int = 5
     recovery_seconds: float = 0.05
     watchdog_seconds: float | None = None
+    quarantine_capacity: int = 1024
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mode", ServeMode.parse(self.mode))
@@ -89,3 +95,35 @@ class TenantConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if self.quarantine_capacity < 1:
+            raise ValueError("quarantine_capacity must be >= 1")
+
+    def to_payload(self) -> dict:
+        """A JSON-round-trippable dict (journaled with the tenant).
+
+        Inverse of :meth:`from_payload`; enum fields flatten to their
+        string values so the payload survives the durability journal.
+        """
+        return {
+            "mode": self.mode.value,
+            "policy": self.policy.value,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "queue_size": self.queue_size,
+            "failure_threshold": self.failure_threshold,
+            "recovery_seconds": self.recovery_seconds,
+            "watchdog_seconds": self.watchdog_seconds,
+            "quarantine_capacity": self.quarantine_capacity,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TenantConfig":
+        """Rebuild a config from :meth:`to_payload` output.
+
+        Unknown keys are ignored (an older build can read a newer
+        journal's config payloads without crashing recovery).
+        """
+        import dataclasses
+
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})

@@ -50,4 +50,13 @@ def render_service_report(server) -> str:
             for key, header in _COLUMNS
         ]
         lines.append(f"{'TOTAL':<16}  " + "  ".join(cells))
+    store = getattr(server, "store", None)
+    if store is not None:
+        recovered = store.recovered
+        lines.append(
+            f"durability: journal at seq {store.last_seq} "
+            f"({recovered.replayed_records} replayed on open, "
+            f"{recovered.truncated_tail_bytes} torn byte(s) repaired, "
+            f"snapshot generation {recovered.snapshot_generation})"
+        )
     return "\n".join(lines)

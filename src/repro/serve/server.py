@@ -44,13 +44,80 @@ class GuardServer:
     :meth:`start`), serve requests, :meth:`stop` to drain.  The async
     context manager form (``async with server:``) starts and stops it
     around a block.
+
+    With ``state_dir=`` the server is **durable**: every control-plane
+    event (tenant register/remove, hot-swap, rollback) is journaled to
+    a write-ahead log *before* it activates, violating rows entering a
+    tenant's quarantine are journaled alongside, and a snapshot every
+    ``snapshot_every`` events bounds replay time.  After a crash,
+    :meth:`recover` rebuilds every tenant at its last committed
+    version — with verdicts bit-identical to an uninterrupted run —
+    and refills its quarantine.  Steady-state request traffic is never
+    journaled, so durability costs nothing on the hot path.
     """
 
-    def __init__(self):
+    def __init__(
+        self,
+        state_dir=None,
+        snapshot_every: "int | None" = 256,
+    ):
         self._tenants: dict[str, Tenant] = {}
         self._tasks: dict[str, asyncio.Task] = {}
         self._ids = itertools.count(1)
         self._running = False
+        self._store = None
+        if state_dir is not None:
+            from ..resilience.durability import DurableStateStore
+
+            self._store = DurableStateStore(
+                state_dir,
+                snapshot_every=snapshot_every,
+                state_provider=self._durable_state,
+            )
+
+    # ------------------------------------------------------------------
+    # Durability plumbing.
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self):
+        """The :class:`~repro.resilience.DurableStateStore` backing
+        this server, or None when running in-memory only."""
+        return self._store
+
+    def _durable_state(self) -> dict:
+        """The full runtime state, shaped for a snapshot generation.
+
+        The same shape :func:`repro.resilience.fold_runtime_state`
+        produces, so snapshot-then-replay and pure-replay recoveries
+        are interchangeable.
+        """
+        from ..dsl import format_program
+
+        tenants = {}
+        for name, tenant in self._tenants.items():
+            versions = tenant.versions
+            tenants[name] = {
+                "config": tenant.config.to_payload(),
+                "programs": [
+                    format_program(guardrail.program)
+                    for guardrail in versions.history()
+                ],
+                "cursor": versions.cursor,
+                "quarantine": tenant.quarantine.peek(),
+                "quarantine_dropped": tenant.quarantine.dropped,
+                "baseline_violation_rate": None,
+            }
+        return {"tenants": tenants}
+
+    def _attach_durability(self, name: str, tenant: Tenant) -> None:
+        """Route the tenant's committed events into the journal."""
+
+        def journal(kind: str, **data) -> None:
+            self._store.append(kind, tenant=name, **data)
+
+        tenant.versions.attach_journal(journal)
+        tenant.quarantine.attach_journal(journal)
 
     # ------------------------------------------------------------------
     # Registration and lifecycle.
@@ -73,10 +140,46 @@ class GuardServer:
         if name in self._tenants:
             raise ValueError(f"tenant {name!r} is already registered")
         tenant = Tenant(name, guardrail, config, predictor)
+        if self._store is not None:
+            from ..dsl import format_program
+
+            # Journal-before-activation: a registration the disk
+            # refused (DurabilityError) never becomes visible.
+            self._store.append(
+                "tenant_register",
+                tenant=name,
+                config=tenant.config.to_payload(),
+                programs=[
+                    format_program(guardrail.program)
+                    for guardrail in tenant.versions.history()
+                ],
+                cursor=tenant.versions.cursor,
+            )
+            self._attach_durability(name, tenant)
         self._tenants[name] = tenant
         if self._running:
             self._spawn_batcher(name, tenant)
         return tenant
+
+    def unregister(self, name: str) -> None:
+        """Remove a tenant (journaled first when durable).
+
+        The tenant's batcher is cancelled; any request still queued
+        resolves with a typed ERROR response.  Raises ``KeyError`` for
+        unknown tenants and propagates the journal's typed error —
+        with the tenant still registered — when the removal cannot be
+        committed.
+        """
+        tenant = self._tenant(name)
+        if self._store is not None:
+            self._store.append("tenant_remove", tenant=name)
+        del self._tenants[name]
+        task = self._tasks.pop(name, None)
+        if task is not None and not task.done():
+            task.cancel()
+        tenant.fail_pending(f"tenant {name!r} unregistered")
+        if obs.enabled():
+            obs.record("serve.unregister", tenant=name)
 
     @property
     def tenants(self) -> tuple[str, ...]:
@@ -171,6 +274,80 @@ class GuardServer:
             tenant.fail_pending(
                 "server stopped before this request was flushed"
             )
+        if self._store is not None:
+            from ..resilience.durability import DurabilityError
+
+            try:
+                # A clean-shutdown snapshot makes the next recovery a
+                # snapshot load with an empty journal tail.
+                self._store.snapshot(self._durable_state())
+            except DurabilityError:
+                # The journal already holds everything committed;
+                # stop() must still succeed on a sick disk.
+                if obs.enabled():
+                    obs.count("durability.stop_snapshot_failed")
+
+    @classmethod
+    def recover(
+        cls,
+        state_dir,
+        predictors: "Mapping[str, Callable] | None" = None,
+        snapshot_every: "int | None" = 256,
+    ) -> "GuardServer":
+        """Rebuild a durable server from ``state_dir`` after a crash.
+
+        Loads the last valid snapshot, replays the journal tail
+        (truncating any torn tail to the committed prefix), and
+        reconstructs every tenant exactly as last committed: the full
+        version history re-parsed from journaled DSL text (so
+        recovered verdicts are bit-identical to the pre-crash
+        guardrails), the rollback cursor, the quarantine contents and
+        drop count, and the tenant config.  ``predictors`` re-binds
+        predict callables (they are code, not state, so they cannot be
+        journaled) by tenant name.
+
+        The rebuilt server is durable over the same ``state_dir`` and
+        ready to :meth:`start`; recovery diagnostics are on
+        ``server.store.recovered``.
+        """
+        from ..dsl import parse_program
+        from ..resilience.durability import fold_runtime_state
+
+        server = cls(state_dir=state_dir, snapshot_every=snapshot_every)
+        recovered = server._store.recovered
+        folded = fold_runtime_state(recovered.state, recovered.events)
+        for name, state in folded["tenants"].items():
+            programs = state["programs"] or [""]
+            guardrails = [
+                Guardrail.from_program(parse_program(text))
+                for text in programs
+            ]
+            versions = GuardrailVersions(guardrails[0])
+            for guardrail in guardrails[1:]:
+                versions.swap(guardrail)
+            for _ in range(len(guardrails) - 1 - state["cursor"]):
+                versions.rollback()
+            tenant = Tenant(
+                name,
+                versions,
+                TenantConfig.from_payload(state["config"]),
+                (predictors or {}).get(name),
+            )
+            tenant.quarantine.restore(
+                state["quarantine"], dropped=state["quarantine_dropped"]
+            )
+            # Hooks attach *after* the rebuild: replayed events must
+            # not be journaled a second time.
+            server._attach_durability(name, tenant)
+            server._tenants[name] = tenant
+        if obs.enabled():
+            obs.record(
+                "serve.recover",
+                tenants=len(folded["tenants"]),
+                replayed=recovered.replayed_records,
+                truncated_tail_bytes=recovered.truncated_tail_bytes,
+            )
+        return server
 
     async def __aenter__(self) -> "GuardServer":
         """``async with server:`` starts the batchers."""

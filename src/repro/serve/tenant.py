@@ -28,6 +28,7 @@ from typing import Callable, Hashable, Mapping
 from ..resilience import (
     CircuitBreaker,
     GuardrailVersions,
+    QuarantineBuffer,
     ResilientBatchGuard,
     ResilientRowGuard,
 )
@@ -179,6 +180,9 @@ class Tenant:
             policy=self.config.policy,
             breaker=self.breaker,
             watchdog_seconds=self.config.watchdog_seconds,
+        )
+        self.quarantine = QuarantineBuffer(
+            capacity=self.config.quarantine_capacity
         )
         self.metrics = TenantMetrics()
         self.events: deque = deque(maxlen=_LATENCY_WINDOW)
@@ -369,6 +373,11 @@ class Tenant:
                     metrics.degraded += len(vet)
                     self.emit("serve.degraded", value=len(vet))
                 for pending, verdict in zip(vet, verdicts):
+                    if verdict is not None and not verdict.ok:
+                        # Tripped rows feed the self-healing loop —
+                        # and, with a state_dir, the journal, so a
+                        # crash loses no quarantined evidence.
+                        self.quarantine.push(dict(pending.row))
                     self._resolve(
                         pending,
                         _FlushOutcome(

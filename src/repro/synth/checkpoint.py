@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -111,12 +110,17 @@ class SynthesisCheckpoint:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Journal this entry atomically (temp file + ``os.replace``)."""
-        path = Path(path)
+        """Journal this entry atomically (tmp + fsync + ``os.replace``).
+
+        Routed through the shared
+        :func:`repro.resilience.atomic_write_text` helper, so every
+        persistence path in the repo has the same crash guarantee —
+        including the fsync the previous inline tmp+replace lacked.
+        """
+        from ..resilience.durability import atomic_write_text
+
         payload = json.dumps(self.__dict__, indent=2, sort_keys=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(payload + "\n", encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(Path(path), payload + "\n")
 
     @classmethod
     def load(cls, path) -> "SynthesisCheckpoint":

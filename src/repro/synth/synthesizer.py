@@ -633,15 +633,16 @@ class Guardrail:
         """Persist the synthesized program as DSL text.
 
         The text form round-trips exactly (``parse_program``), so a
-        saved guardrail can be audited, edited, and reloaded.
+        saved guardrail can be audited, edited, and reloaded.  The
+        write is atomic (tmp + fsync + rename via
+        :func:`repro.resilience.atomic_write_text`): a crash mid-save
+        leaves the previous file intact, never a torn program a later
+        ``load`` would reject.
         """
-        from pathlib import Path
-
         from ..dsl import format_program
+        from ..resilience.durability import atomic_write_text
 
-        Path(path).write_text(
-            format_program(self.program) + "\n", encoding="utf-8"
-        )
+        atomic_write_text(path, format_program(self.program) + "\n")
 
     @classmethod
     def from_program(

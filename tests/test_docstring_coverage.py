@@ -9,6 +9,7 @@ sys.path.insert(0, str(TOOLS_DIR))
 from check_docstrings import (  # noqa: E402
     DOCUMENTED_SUBSYSTEMS,
     find_chaos_gaps,
+    find_stray_state_artifacts,
     find_undocumented_subsystems,
     find_violations,
 )
@@ -38,4 +39,14 @@ def test_every_chaos_fault_class_registered_tested_documented():
         "chaos fault-class gap(s) (run `python tools/"
         "check_docstrings.py` for the list):\n"
         + "\n".join(f"  {g}" for g in gaps)
+    )
+
+
+def test_no_stray_state_dir_artifacts_in_the_repo():
+    """Durable-state tests must confine journals/snapshots to tmpdirs."""
+    stray = find_stray_state_artifacts()
+    assert not stray, (
+        "durable-state artifact(s) leaked into the repository "
+        "(a test wrote its state_dir outside tmp_path):\n"
+        + "\n".join(f"  {s}" for s in stray)
     )

@@ -2,16 +2,30 @@
 
 Satellites of the resilience PRs: :class:`RelationIOError` (with row
 numbers) for malformed CSV payloads, :class:`GuardrailLoadError` for
-corrupt/truncated guardrail files, and the hot-swap paths
+corrupt/truncated guardrail files, the hot-swap paths
 (:meth:`GuardrailVersions.swap_from_file`,
 :meth:`QueryExecutor.swap_guardrail`) which must surface the same typed
-error while keeping the previous version live.
+error while keeping the previous version live, and
+:class:`DurabilityError` — which must name the offending path and
+carry the underlying cause for every corrupt/truncated/empty durable
+file.
 """
 
 import pytest
 
 from repro.relation import RelationError, RelationIOError, from_csv_text
-from repro.resilience import GuardrailVersions
+from repro.resilience import (
+    DurabilityError,
+    FullDiskIO,
+    GuardrailVersions,
+    io_shim,
+)
+from repro.resilience.durability import (
+    DurableStateStore,
+    SnapshotStore,
+    WriteAheadJournal,
+    recover,
+)
 from repro.synth import Guardrail, GuardrailLoadError
 
 
@@ -188,3 +202,114 @@ class TestHotSwapLoadError:
         )
         with pytest.raises(GuardrailLoadError):
             executor.swap_guardrail(42)
+
+
+class TestDurabilityErrorTyping:
+    """Every durable-state failure is a :class:`DurabilityError`
+    naming the path and chaining the cause — never a bare OSError,
+    JSONDecodeError, or UnicodeDecodeError."""
+
+    def test_is_a_value_error_with_path(self, tmp_path):
+        assert issubclass(DurabilityError, ValueError)
+        error = DurabilityError("boom", path=tmp_path / "f")
+        assert error.path == tmp_path / "f"
+
+    def test_missing_state_dir_names_it(self, tmp_path):
+        missing = tmp_path / "never-created"
+        with pytest.raises(DurabilityError) as info:
+            recover(missing)
+        assert info.value.path == missing
+        assert str(missing) in str(info.value)
+
+    def test_empty_snapshot_file_is_typed(self, tmp_path):
+        path = tmp_path / "snapshot-00000001.json"
+        path.write_text("")
+        with pytest.raises(DurabilityError) as info:
+            SnapshotStore(tmp_path).load_one(1)
+        assert info.value.path == path
+        assert info.value.__cause__ is not None
+
+    def test_truncated_snapshot_is_typed(self, tmp_path):
+        snapshots = SnapshotStore(tmp_path)
+        snapshots.write({"tenants": {}}, seq=1)
+        path = tmp_path / "snapshot-00000001.json"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(DurabilityError) as info:
+            snapshots.load_one(1)
+        assert info.value.path == path
+
+    def test_binary_garbage_snapshot_is_typed(self, tmp_path):
+        path = tmp_path / "snapshot-00000001.json"
+        path.write_bytes(b"\xff\xfe\x00\x01snapshot\x00")
+        with pytest.raises(DurabilityError, match="UTF-8") as info:
+            SnapshotStore(tmp_path).load_one(1)
+        assert isinstance(info.value.__cause__, UnicodeDecodeError)
+
+    def test_journal_write_failure_is_typed(self, tmp_path):
+        from repro.resilience.durability import JournalRecord
+
+        journal = WriteAheadJournal(
+            tmp_path / "journal.log", io=FullDiskIO(capacity_bytes=0)
+        )
+        with pytest.raises(DurabilityError) as info:
+            journal.append(JournalRecord(seq=1, kind="k", data={}))
+        assert info.value.path == tmp_path / "journal.log"
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_unreadable_state_dir_path_is_typed(self, tmp_path):
+        clash = tmp_path / "file-not-a-dir"
+        clash.write_text("occupied")
+        with pytest.raises(DurabilityError) as info:
+            DurableStateStore(clash / "state")
+        assert info.value.path == clash / "state"
+
+
+class TestAtomicGuardrailSave:
+    """``Guardrail.save`` routes through the shared atomic-write
+    helper: a failed save is typed and leaves the previous file —
+    and the previously loaded version — fully intact."""
+
+    def test_failed_save_keeps_old_file(self, tmp_path, city_program):
+        path = tmp_path / "guard.grd"
+        Guardrail.from_program(city_program).save(path)
+        before = path.read_text()
+        with io_shim(FullDiskIO(capacity_bytes=0)):
+            with pytest.raises(DurabilityError) as info:
+                Guardrail.from_program(city_program).save(path)
+        assert info.value.path == path
+        assert path.read_text() == before
+        assert Guardrail.load(path).program == city_program
+
+    def test_failed_save_leaves_live_version_active(
+        self, tmp_path, city_program
+    ):
+        versions = GuardrailVersions(Guardrail.from_program(city_program))
+        with io_shim(FullDiskIO(capacity_bytes=0)):
+            with pytest.raises(DurabilityError):
+                versions.current.save(tmp_path / "guard.grd")
+        assert versions.version == 1
+        row = {
+            "PostalCode": "94704",
+            "City": "Berkeley",
+            "State": "CA",
+            "Country": "USA",
+        }
+        assert versions.row_guard().check(row).ok
+
+    def test_checkpoint_save_is_atomic_too(self, tmp_path):
+        from repro.synth.checkpoint import SynthesisCheckpoint
+
+        checkpoint = SynthesisCheckpoint(
+            phase="pc", relation_token="r", config_token="c"
+        )
+        path = tmp_path / "synth.ckpt"
+        checkpoint.save(path)
+        before = path.read_text()
+        with io_shim(FullDiskIO(capacity_bytes=0)):
+            with pytest.raises(DurabilityError):
+                SynthesisCheckpoint(
+                    phase="fill", relation_token="r", config_token="c"
+                ).save(path)
+        assert path.read_text() == before
+        assert SynthesisCheckpoint.load(path).phase == "pc"

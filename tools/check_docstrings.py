@@ -205,6 +205,11 @@ def find_chaos_gaps() -> list[str]:
             "repro.resilience.chaos: WORKER_FAULT_CLASSES is not a "
             "subset of FAULT_CLASSES"
         )
+    if not set(chaos.DURABILITY_FAULT_CLASSES) <= set(chaos.FAULT_CLASSES):
+        problems.append(
+            "repro.resilience.chaos: DURABILITY_FAULT_CLASSES is not a "
+            "subset of FAULT_CLASSES"
+        )
     if set(chaos_load.LOAD_FAULT_CLASSES) != set(chaos_load._INJECTORS):
         problems.append(
             "repro.resilience.chaos_load: LOAD_FAULT_CLASSES does not "
@@ -235,11 +240,44 @@ def find_chaos_gaps() -> list[str]:
     return problems
 
 
+STATE_ARTIFACT_GLOBS = (
+    "journal.log",
+    "snapshot-*.json",
+    "journal.log.tmp",
+    "snapshot-*.json.tmp",
+)
+"""File names a durable state directory contains.  None may ever be
+committed to (or left strewn around) the repository — a test that
+writes durable state must do so under ``tmp_path`` or an equivalent
+self-cleaning temporary directory."""
+
+_ARTIFACT_SCAN_EXCLUDE = {".git", "__pycache__", ".pytest_cache"}
+
+
+def find_stray_state_artifacts(root: Path = REPO_ROOT) -> list[str]:
+    """Durable-state files left inside the repository tree.
+
+    The tmpdir-hygiene gate: the durability layer and every test that
+    exercises it must confine ``journal.log`` / ``snapshot-*.json``
+    (and their ``.tmp`` staging twins) to temporary directories, so a
+    test run leaves the checkout byte-identical.  Any hit here is a
+    leaked ``state_dir``.
+    """
+    stray: list[str] = []
+    for pattern in STATE_ARTIFACT_GLOBS:
+        for path in root.rglob(pattern):
+            if _ARTIFACT_SCAN_EXCLUDE & set(path.parts):
+                continue
+            stray.append(str(path.relative_to(root)))
+    return sorted(stray)
+
+
 def main() -> int:
     """CLI entry: print violations, exit 1 when any exist."""
     violations = find_violations()
     undocumented = find_undocumented_subsystems()
     chaos_gaps = find_chaos_gaps()
+    stray = find_stray_state_artifacts()
     if violations:
         print(
             f"{len(violations)} public definition(s) missing docstrings:"
@@ -254,7 +292,11 @@ def main() -> int:
         print(f"{len(chaos_gaps)} chaos fault-class gap(s):")
         for entry in chaos_gaps:
             print(f"  {entry}")
-    if violations or undocumented or chaos_gaps:
+    if stray:
+        print(f"{len(stray)} stray durable-state artifact(s) in the repo:")
+        for entry in stray:
+            print(f"  {entry}")
+    if violations or undocumented or chaos_gaps or stray:
         return 1
     print("docstring coverage: 100% of the public API")
     print(
@@ -265,6 +307,7 @@ def main() -> int:
         "chaos gate: every fault class is registered, chaos-tested, "
         "and documented"
     )
+    print("state hygiene: no stray journal/snapshot artifacts")
     return 0
 
 
