@@ -233,6 +233,211 @@ def test_durable_serve_overhead_within_bound(workload, tmp_path):
     )
 
 
+async def _storm(server: GuardServer, rows, total: int, duration: float):
+    """Open-loop arrivals: ``total`` requests over ``duration`` seconds
+    regardless of completions (the arrival process a shedding server
+    actually faces).  Returns the settled responses and elapsed time
+    from first submission to last resolution."""
+    futures = []
+    ticks = 40
+    sent = 0
+    start = time.perf_counter()
+    for tick in range(ticks):
+        quota = (total * (tick + 1)) // ticks
+        while sent < quota:
+            futures.append(
+                asyncio.ensure_future(
+                    server.check("tenant-0", rows[sent % len(rows)])
+                )
+            )
+            sent += 1
+        await asyncio.sleep(duration / ticks)
+    responses = await asyncio.gather(*futures)
+    return responses, time.perf_counter() - start
+
+
+def _throttled_guardrail(program, delay_s: float):
+    """A correct guardrail whose guards sleep ``delay_s`` per call.
+
+    The raw guardrail clears ~20k req/s — far more than an in-process
+    open-loop driver can offer at 10x, so a storm against it measures
+    driver CPU, not shedding.  Throttling makes capacity small and
+    the 10x arrival process real."""
+
+    class _Throttled:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def check_batch(self, batch):
+            time.sleep(delay_s)
+            return self._inner.check_batch(batch)
+
+        def check_row(self, row):
+            time.sleep(delay_s)
+            return self._inner.check_row(row)
+
+        def rectify(self, row):
+            time.sleep(delay_s)
+            return self._inner.rectify(row)
+
+    class _ThrottledGuardrail(Guardrail):
+        def batch_guard(self, batch_size: int = 256):
+            return _Throttled(super().batch_guard(batch_size))
+
+        def row_guard(self):
+            return _Throttled(super().row_guard())
+
+    return _ThrottledGuardrail.from_program(program)
+
+
+def _measure_overload(program, rows) -> dict:
+    """Calibrate single-tenant capacity, then storm the same config at
+    1x/4x/10x offered load and record goodput + admitted-request p95."""
+
+    from repro.resilience import BrownoutConfig
+
+    def server() -> GuardServer:
+        fresh = GuardServer(
+            brownout=BrownoutConfig(
+                step_down_after=2,
+                cool_seconds=0.15,
+                min_dwell_seconds=0.05,
+                max_tier=2,
+            )
+        )
+        fresh.register(
+            "tenant-0",
+            _throttled_guardrail(program, 0.008),
+            TenantConfig(
+                max_batch=8,
+                max_wait_ms=2.0,
+                queue_size=96,
+                target_delay_ms=20.0,
+            ),
+        )
+        return fresh
+
+    async def calibrate() -> float:
+        # Cold closed loop with max_batch concurrent clients (so
+        # batches fill).  Best of two runs: a single short sample is
+        # noisy enough to distort every storm multiplier downstream.
+        async def once() -> float:
+            closed = server()
+            async with closed:
+                start = time.perf_counter()
+                completed = await _drive_single(closed, rows, 8, 10)
+                return completed / (time.perf_counter() - start)
+
+        return max(await once(), await once())
+
+    async def _drive_single(srv, pool, clients, requests) -> int:
+        async def client(cid: int) -> int:
+            done = 0
+            for j in range(requests):
+                row = pool[(cid * requests + j) % len(pool)]
+                response = await srv.check("tenant-0", row)
+                while response.status is ServeStatus.REJECTED:
+                    await asyncio.sleep(response.retry_after)
+                    response = await srv.check("tenant-0", row)
+                done += 1
+            return done
+
+        return sum(
+            await asyncio.gather(*(client(c) for c in range(clients)))
+        )
+
+    capacity = asyncio.run(calibrate())
+    measurements = {"capacity_rps": capacity, "storms": {}}
+    for multiplier in (1, 4, 10):
+        offered = capacity * multiplier
+        total = min(int(offered * 0.5), 4000)
+        duration = total / offered
+
+        async def run_storm():
+            stormed = server()
+            async with stormed:
+                return await _storm(stormed, rows, total, duration)
+
+        responses, elapsed = asyncio.run(run_storm())
+        completed = [
+            r for r in responses if r.status is ServeStatus.OK
+        ]
+        latencies = sorted(
+            r.queued_ms + r.service_ms for r in completed
+        )
+        p95 = (
+            latencies[int(0.95 * (len(latencies) - 1))]
+            if latencies
+            else 0.0
+        )
+        goodput = len(completed) / elapsed
+        measurements["storms"][f"{multiplier}x"] = {
+            "offered_rps": offered,
+            "submitted": total,
+            "completed": len(completed),
+            "rejected": sum(
+                r.status is ServeStatus.REJECTED for r in responses
+            ),
+            "goodput_rps": goodput,
+            "goodput_ratio": goodput / capacity,
+            "admitted_p95_ms": p95,
+        }
+    return measurements
+
+
+def _record_overload(measurements: dict) -> str:
+    """Record (or report) the overload variant in ``BENCH_serve.json``."""
+    payload = (
+        json.loads(_BASELINE.read_text()) if _BASELINE.exists() else {}
+    )
+    if os.environ.get("REPRO_UPDATE_BENCH") == "1" or (
+        "overload" not in payload
+    ):
+        payload["overload"] = measurements
+        payload.setdefault("trajectory", [])
+        _BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        return f"overload entry written to {_BASELINE.name}"
+    reference = payload["overload"]["storms"]["10x"]
+    return (
+        f"recorded overload 10x: {reference['goodput_ratio']:.0%} "
+        f"goodput, admitted p95 {reference['admitted_p95_ms']:.2f} ms"
+    )
+
+
+def test_overload_goodput_under_storm(workload):
+    """Open-loop storms at 1x/4x/10x calibrated capacity: admission
+    control and queue-full shedding must keep goodput at >= 70% of the
+    single-tenant capacity even when ten times as much traffic is
+    offered — shedding is cheap, guard work is not wasted on requests
+    that will never be served in time."""
+    program, rows = workload
+    measurements = _measure_overload(program, rows)
+    if measurements["storms"]["10x"]["goodput_ratio"] < 0.70:
+        # One retry absorbs scheduler jitter on a loaded machine.
+        measurements = _measure_overload(program, rows)
+
+    lines = [f"capacity     {measurements['capacity_rps']:10.0f} req/s"]
+    for key, storm in measurements["storms"].items():
+        lines.append(
+            f"{key:>4s} offered {storm['goodput_ratio']:9.0%} goodput, "
+            f"admitted p95 {storm['admitted_p95_ms']:6.2f} ms, "
+            f"{storm['rejected']} shed"
+        )
+    banner(
+        "Overload shedding (open-loop storms)",
+        "\n".join(lines) + "\n" + _record_overload(measurements),
+    )
+
+    storm_10x = measurements["storms"]["10x"]
+    assert storm_10x["goodput_ratio"] >= 0.70, (
+        f"10x storm goodput collapsed to "
+        f"{storm_10x['goodput_ratio']:.0%} of capacity (bound: 70%)"
+    )
+    # Shedding must actually engage at 10x — a queue deep enough to
+    # absorb the whole storm would just be hidden latency.
+    assert storm_10x["rejected"] > 0
+
+
 def test_committed_baseline_exists():
     """The committed record must hold a plausible serving baseline."""
     payload = json.loads(_BASELINE.read_text())

@@ -261,6 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=5,
         help="requests per client per --load traffic phase (default 5)",
     )
+    chaos.add_argument(
+        "--overload",
+        action="store_true",
+        help="run the overload storm suite instead: traffic-shaped "
+        "faults (10x storms, retry bursts, noisy neighbors, deadline "
+        "stampedes) against a live GuardServer "
+        "(repro.resilience.chaos_overload)",
+    )
+    chaos.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor on --overload storm volume (default 1.0)",
+    )
 
     drift = sub.add_parser(
         "drift",
@@ -581,13 +593,36 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         DURABILITY_FAULT_CLASSES,
         FAULT_CLASSES,
         LOAD_FAULT_CLASSES,
+        OVERLOAD_FAULT_CLASSES,
         WORKER_FAULT_CLASSES,
         render_chaos_report,
         render_load_report,
+        render_overload_report,
         run_chaos_suite,
         run_load_suite,
+        run_overload_suite,
     )
 
+    if args.overload:
+        faults = (
+            tuple(args.fault) if args.fault else OVERLOAD_FAULT_CLASSES
+        )
+        unknown = [
+            f for f in faults if f not in OVERLOAD_FAULT_CLASSES
+        ]
+        if unknown:
+            print(
+                f"unknown overload fault class(es): "
+                f"{', '.join(unknown)}; choose from: "
+                f"{', '.join(OVERLOAD_FAULT_CLASSES)}",
+                file=sys.stderr,
+            )
+            return 2
+        outcomes = run_overload_suite(
+            args.guard_policy, faults=faults, scale=args.scale
+        )
+        print(render_overload_report(outcomes))
+        return 0 if all(o.conformant for o in outcomes) else 1
     if args.load:
         faults = tuple(args.fault) if args.fault else LOAD_FAULT_CLASSES
         unknown = [f for f in faults if f not in LOAD_FAULT_CLASSES]

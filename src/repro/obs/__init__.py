@@ -25,6 +25,7 @@ from .report import (
     aggregate_counters,
     aggregate_histograms,
     aggregate_durability,
+    aggregate_overload,
     aggregate_worker_faults,
     build_span_tree,
     render_drift_dashboard,
@@ -87,6 +88,7 @@ __all__ = [
     "aggregate_counters",
     "aggregate_histograms",
     "aggregate_durability",
+    "aggregate_overload",
     "aggregate_worker_faults",
     "render_metrics",
     "render_drift_dashboard",

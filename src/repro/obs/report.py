@@ -285,6 +285,40 @@ def aggregate_durability(events: Iterable[dict]) -> dict[str, int]:
     return totals
 
 
+OVERLOAD_COUNTERS = (
+    "serve.rejected",
+    "serve.expired",
+    "serve.shed_admission",
+    "serve.shed_fair_share",
+    "serve.drain_expired",
+    "serve.brownout_step_down",
+    "serve.brownout_step_up",
+)
+"""Counters the serve layer's overload pipeline
+(:mod:`repro.resilience.overload`) emits; the subset present in a
+trace forms the report's overload section."""
+
+
+def aggregate_overload(events: Iterable[dict]) -> dict[str, int]:
+    """Collect the overload-control counters present in a trace.
+
+    One entry per :data:`OVERLOAD_COUNTERS` name observed; an empty
+    dict means the trace never shed load.  Deliberate sheds (adaptive
+    admission, fair share, deadlines, brownout steps) are first-class
+    outcomes, so they surface in the report exactly like durability
+    incidents rather than hiding inside per-tenant counters.
+    """
+    totals: dict[str, int] = {}
+    wanted = set(OVERLOAD_COUNTERS)
+    for event in events:
+        if event.get("type") != "counter":
+            continue
+        name = event.get("name")
+        if name in wanted:
+            totals[name] = totals.get(name, 0) + int(event.get("value", 1))
+    return totals
+
+
 def worker_ids(events: Iterable[dict]) -> tuple[int, ...]:
     """Distinct worker pids whose merged events appear in a trace.
 
@@ -326,6 +360,7 @@ class ObsReport:
     workers: tuple[int, ...] = ()
     worker_faults: dict[str, int] = field(default_factory=dict)
     durability: dict[str, int] = field(default_factory=dict)
+    overload: dict[str, int] = field(default_factory=dict)
     n_events: int = 0
 
     @classmethod
@@ -341,6 +376,7 @@ class ObsReport:
             workers=worker_ids(events),
             worker_faults=aggregate_worker_faults(events),
             durability=aggregate_durability(events),
+            overload=aggregate_overload(events),
             n_events=len(events),
         )
 
@@ -373,6 +409,12 @@ class ObsReport:
                 for name, n in sorted(self.durability.items())
             )
             lines.append(f"  durability: {stats}")
+        if self.overload:
+            stats = ", ".join(
+                f"{name}={n}"
+                for name, n in sorted(self.overload.items())
+            )
+            lines.append(f"  overload: {stats}")
         body = render_metrics(
             [
                 {"type": "counter", "name": name, "value": value}

@@ -27,7 +27,12 @@ Five pillars keep the pipeline production-safe:
 * :mod:`~repro.resilience.durability` — the crash-safe state store
   (write-ahead journal + atomic snapshot generations +
   :func:`~repro.resilience.durability.recover`) that makes hot-swaps,
-  quarantine contents, and drift baselines survive process death.
+  quarantine contents, and drift baselines survive process death;
+* :mod:`~repro.resilience.overload` — overload control for the
+  serving layer (CoDel-style adaptive admission, request deadlines,
+  weighted fair-share budgets, brownout degradation tiers), with its
+  own storm-shaped chaos suite in
+  :mod:`~repro.resilience.chaos_overload`.
 """
 
 from .budget import Budget, BudgetExceeded
@@ -64,6 +69,21 @@ from .chaos_load import (
     render_load_report,
     run_load_fault,
     run_load_suite,
+)
+from .chaos_overload import (
+    OVERLOAD_FAULT_CLASSES,
+    OverloadOutcome,
+    render_overload_report,
+    run_overload_fault,
+    run_overload_suite,
+)
+from .overload import (
+    STEADY_CLOCK,
+    AdmissionController,
+    BrownoutConfig,
+    BrownoutController,
+    FairShareLimiter,
+    SteadyClock,
 )
 from .drift import (
     DRIFT_KINDS,
@@ -133,6 +153,17 @@ __all__ = [
     "run_load_fault",
     "run_load_suite",
     "render_load_report",
+    "OVERLOAD_FAULT_CLASSES",
+    "OverloadOutcome",
+    "run_overload_fault",
+    "run_overload_suite",
+    "render_overload_report",
+    "STEADY_CLOCK",
+    "SteadyClock",
+    "AdmissionController",
+    "FairShareLimiter",
+    "BrownoutConfig",
+    "BrownoutController",
     "DurabilityError",
     "DiskIO",
     "TornWriteIO",

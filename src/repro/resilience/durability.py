@@ -824,6 +824,7 @@ RUNTIME_EVENT_KINDS = (
     "quarantine_push",
     "quarantine_drain",
     "drift_rebase",
+    "brownout",
 )
 """Every event kind the guard runtime journals (the vocabulary
 :func:`fold_runtime_state` understands)."""
@@ -852,9 +853,26 @@ def fold_runtime_state(
     Unknown event kinds raise :class:`DurabilityError` (a newer
     writer's journal must not be half-understood); events for unknown
     tenants are tolerated (a ``tenant_remove`` already erased them).
+
+    Beyond the per-tenant state, the fold carries the server-wide
+    brownout controller: ``brownout`` events (journaled tier
+    transitions, which deliberately carry no timestamps) replay into
+    ``folded["brownout"]`` — the tier and the full transition history,
+    bit-identical to the live controller's record.
     """
-    folded = {"tenants": {}}
+    folded = {
+        "tenants": {},
+        "brownout": {"tier": 0, "transitions": []},
+    }
     if state:
+        brownout = state.get("brownout")
+        if brownout:
+            folded["brownout"] = {
+                "tier": int(brownout.get("tier", 0)),
+                "transitions": [
+                    dict(t) for t in brownout.get("transitions", [])
+                ],
+            }
         for name, tenant in state.get("tenants", {}).items():
             merged = _blank_tenant(tenant.get("config"))
             merged.update(
@@ -882,6 +900,15 @@ def fold_runtime_state(
             continue
         if kind == "tenant_remove":
             tenants.pop(name, None)
+            continue
+        if kind == "brownout":
+            record = {
+                "from": int(data.get("from", 0)),
+                "tier": int(data.get("tier", 0)),
+                "reason": data.get("reason", "?"),
+            }
+            folded["brownout"]["tier"] = record["tier"]
+            folded["brownout"]["transitions"].append(record)
             continue
         tenant = tenants.get(name)
         if tenant is None:

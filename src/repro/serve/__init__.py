@@ -12,7 +12,13 @@ package is the long-lived deployment front-end over the same machinery:
   a direct serial ``check_batch`` over the same rows;
 * bounded queues give typed backpressure: a full tenant rejects with
   a :attr:`~repro.serve.ServeStatus.REJECTED` response carrying
-  ``retry_after``, never an exception;
+  ``retry_after``, never an exception — and overload control
+  (:mod:`repro.resilience.overload`) sheds *before* the cliff:
+  adaptive admission on queue sojourn time, request ``deadline_ms``
+  budgets (typed :attr:`~repro.serve.ServeStatus.EXPIRED` at
+  dequeue), a weighted fair-share concurrency budget across tenants
+  (``GuardServer(budget=...)``), and brownout degradation tiers with
+  hysteresis;
 * per-tenant :class:`~repro.resilience.GuardPolicy` +
   :class:`~repro.resilience.CircuitBreaker` govern degradation, and
   :class:`~repro.resilience.GuardrailVersions` gives per-tenant

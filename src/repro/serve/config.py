@@ -62,6 +62,17 @@ class TenantConfig:
         Bound of the per-tenant admission queue.  A full queue rejects
         new work with a typed retry-after response (backpressure),
         never an exception.
+    target_delay_ms:
+        Adaptive-admission target for the tenant's queue sojourn time
+        (:class:`~repro.resilience.AdmissionController`): once the
+        sojourn EWMA has sat above this for a sustained interval, new
+        arrivals are shed with honest jittered ``retry_after`` hints
+        *before* the queue-full cliff.
+    share:
+        The tenant's weight in the server-wide fair-share concurrency
+        budget (``GuardServer(budget=...)``): the tenant is guaranteed
+        ``share / total_shares`` of the budget and may exceed it only
+        while the server has headroom.  Ignored when no budget is set.
     failure_threshold / recovery_seconds:
         The tenant's :class:`~repro.resilience.CircuitBreaker` trip
         wire: consecutive guard failures that open the circuit, and
@@ -81,6 +92,8 @@ class TenantConfig:
     max_batch: int = 64
     max_wait_ms: float = 2.0
     queue_size: int = 1024
+    target_delay_ms: float = 100.0
+    share: float = 1.0
     failure_threshold: int = 5
     recovery_seconds: float = 0.05
     watchdog_seconds: float | None = None
@@ -95,6 +108,10 @@ class TenantConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if self.target_delay_ms <= 0:
+            raise ValueError("target_delay_ms must be > 0")
+        if self.share <= 0:
+            raise ValueError("share must be > 0")
         if self.quarantine_capacity < 1:
             raise ValueError("quarantine_capacity must be >= 1")
 
@@ -110,6 +127,8 @@ class TenantConfig:
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_ms,
             "queue_size": self.queue_size,
+            "target_delay_ms": self.target_delay_ms,
+            "share": self.share,
             "failure_threshold": self.failure_threshold,
             "recovery_seconds": self.recovery_seconds,
             "watchdog_seconds": self.watchdog_seconds,

@@ -12,6 +12,7 @@ _COLUMNS = (
     ("requests", "req"),
     ("completed", "done"),
     ("rejected", "rej"),
+    ("expired", "exp"),
     ("errors", "err"),
     ("degraded", "deg"),
     ("gated", "gated"),
@@ -50,6 +51,24 @@ def render_service_report(server) -> str:
             for key, header in _COLUMNS
         ]
         lines.append(f"{'TOTAL':<16}  " + "  ".join(cells))
+    brownout = getattr(server, "brownout", None)
+    if brownout is not None and (
+        brownout.tier or brownout.transitions
+    ):
+        snap = brownout.snapshot()
+        lines.append(
+            f"overload: brownout tier {snap['tier']} "
+            f"(peak {snap['max_tier_seen']}, "
+            f"{snap['transitions']} transition(s))"
+        )
+    limiter = getattr(server, "limiter", None)
+    if limiter is not None:
+        shares = limiter.snapshot()
+        lines.append(
+            f"fair share: budget {shares['budget']} "
+            f"({shares['in_flight']} in flight, "
+            f"{shares['denied']} denied)"
+        )
     store = getattr(server, "store", None)
     if store is not None:
         recovered = store.recovered

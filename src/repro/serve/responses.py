@@ -2,8 +2,10 @@
 
 The service never surfaces backpressure or guard degradation as an
 exception to the caller — a full admission queue yields a
-:attr:`ServeStatus.REJECTED` response carrying ``retry_after``, and a
-guard failure under the strict policy yields an
+:attr:`ServeStatus.REJECTED` response carrying ``retry_after``, a
+request whose ``deadline_ms`` ran out before the guard could serve it
+yields :attr:`ServeStatus.EXPIRED` (shed at dequeue, no guard work
+wasted), and a guard failure under the strict policy yields an
 :attr:`ServeStatus.ERROR` response carrying the error text.  Only
 caller bugs (unknown tenant, server not started) raise.
 """
@@ -18,10 +20,20 @@ from ..errors.stream import RowVerdict
 
 
 class ServeStatus(enum.Enum):
-    """Terminal status of one service request."""
+    """Terminal status of one service request.
+
+    ``OK`` — the guard served the request (the verdict may still be a
+    violation); ``REJECTED`` — typed backpressure, retry after
+    ``retry_after`` seconds; ``EXPIRED`` — the request's
+    ``deadline_ms`` ran out before the guard could run, so it was
+    shed without wasting guard work; ``ERROR`` — the guard was
+    unavailable under the strict policy or the request was malformed
+    (e.g. predict with no predictor registered).
+    """
 
     OK = "ok"
     REJECTED = "rejected"
+    EXPIRED = "expired"
     ERROR = "error"
 
 
@@ -33,8 +45,10 @@ class ServeResponse:
     ----------
     status:
         :class:`ServeStatus` — ``ok``, ``rejected`` (backpressure;
-        see ``retry_after``), or ``error`` (guard unavailable under
-        the strict policy, or no predictor registered).
+        see ``retry_after``), ``expired`` (the request's deadline
+        passed before the guard could serve it), or ``error`` (guard
+        unavailable under the strict policy, or no predictor
+        registered).
     tenant / kind / request_id:
         Which tenant served which kind of request; ids are unique per
         server so callers can correlate (and tests can prove zero
@@ -96,6 +110,11 @@ class ServeResponse:
     def rejected(self) -> bool:
         """Was the request refused by backpressure?"""
         return self.status is ServeStatus.REJECTED
+
+    @property
+    def expired(self) -> bool:
+        """Did the request's deadline pass before the guard ran?"""
+        return self.status is ServeStatus.EXPIRED
 
     def __bool__(self) -> bool:
         return self.ok

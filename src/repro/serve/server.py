@@ -31,6 +31,12 @@ from typing import Callable, Hashable, Mapping
 
 from .. import obs
 from ..resilience import GuardrailVersions
+from ..resilience.overload import (
+    STEADY_CLOCK,
+    BrownoutConfig,
+    BrownoutController,
+    FairShareLimiter,
+)
 from ..synth import Guardrail
 from .config import ServeMode, TenantConfig
 from .responses import ServeResponse, ServeStatus
@@ -44,6 +50,16 @@ class GuardServer:
     :meth:`start`), serve requests, :meth:`stop` to drain.  The async
     context manager form (``async with server:``) starts and stops it
     around a block.
+
+    Under overload the server sheds deliberately instead of
+    collapsing: per-tenant adaptive admission rejects with honest
+    jittered ``retry_after`` before the queue-full cliff, request
+    ``deadline_ms`` budgets expire at dequeue (typed ``EXPIRED``, no
+    guard work wasted), ``budget=`` splits a server-wide concurrency
+    budget across tenants by their configured ``share`` weights, and
+    the :attr:`brownout` controller steps service down (and, after a
+    cool period, back up) through degradation tiers — every
+    transition journaled when the server is durable.
 
     With ``state_dir=`` the server is **durable**: every control-plane
     event (tenant register/remove, hot-swap, rollback) is journaled to
@@ -60,12 +76,19 @@ class GuardServer:
         self,
         state_dir=None,
         snapshot_every: "int | None" = 256,
+        budget: "int | None" = None,
+        brownout: "BrownoutConfig | None" = None,
     ):
         self._tenants: dict[str, Tenant] = {}
         self._tasks: dict[str, asyncio.Task] = {}
         self._ids = itertools.count(1)
         self._running = False
         self._store = None
+        self._limiter = (
+            FairShareLimiter(budget) if budget is not None else None
+        )
+        self._brownout = BrownoutController(brownout)
+        self._brownout.on_transition(self._on_brownout_transition)
         if state_dir is not None:
             from ..resilience.durability import DurableStateStore
 
@@ -73,6 +96,9 @@ class GuardServer:
                 state_dir,
                 snapshot_every=snapshot_every,
                 state_provider=self._durable_state,
+            )
+            self._brownout.attach_journal(
+                lambda **data: self._store.append("brownout", **data)
             )
 
     # ------------------------------------------------------------------
@@ -84,6 +110,36 @@ class GuardServer:
         """The :class:`~repro.resilience.DurableStateStore` backing
         this server, or None when running in-memory only."""
         return self._store
+
+    @property
+    def brownout(self) -> BrownoutController:
+        """The server-wide :class:`~repro.resilience
+        .BrownoutController` (tier 0 = full service)."""
+        return self._brownout
+
+    @property
+    def limiter(self) -> "FairShareLimiter | None":
+        """The fair-share concurrency limiter, or None when the
+        server was built without a ``budget``."""
+        return self._limiter
+
+    def _on_brownout_transition(self, record: dict) -> None:
+        """Surface one brownout tier change in the obs stream."""
+        if obs.enabled():
+            obs.record("serve.brownout", **record)
+            direction = (
+                "down" if record["tier"] > record["from"] else "up"
+            )
+            obs.count(f"serve.brownout_step_{direction}")
+
+    def overload_snapshot(self) -> dict:
+        """The overload-control state as one plain dict: brownout
+        tier/transitions plus the fair-share budget and per-tenant
+        usage (when a budget is configured)."""
+        snapshot = {"brownout": self._brownout.snapshot()}
+        if self._limiter is not None:
+            snapshot["fair_share"] = self._limiter.snapshot()
+        return snapshot
 
     def _durable_state(self) -> dict:
         """The full runtime state, shaped for a snapshot generation.
@@ -108,7 +164,15 @@ class GuardServer:
                 "quarantine_dropped": tenant.quarantine.dropped,
                 "baseline_violation_rate": None,
             }
-        return {"tenants": tenants}
+        return {
+            "tenants": tenants,
+            "brownout": {
+                "tier": self._brownout.tier,
+                "transitions": [
+                    dict(t) for t in self._brownout.transitions
+                ],
+            },
+        }
 
     def _attach_durability(self, name: str, tenant: Tenant) -> None:
         """Route the tenant's committed events into the journal."""
@@ -156,6 +220,9 @@ class GuardServer:
                 cursor=tenant.versions.cursor,
             )
             self._attach_durability(name, tenant)
+        if self._limiter is not None:
+            self._limiter.register(name, tenant.config.share)
+        tenant.attach_overload(self._limiter, self._brownout)
         self._tenants[name] = tenant
         if self._running:
             self._spawn_batcher(name, tenant)
@@ -174,6 +241,8 @@ class GuardServer:
         if self._store is not None:
             self._store.append("tenant_remove", tenant=name)
         del self._tenants[name]
+        if self._limiter is not None:
+            self._limiter.unregister(name)
         task = self._tasks.pop(name, None)
         if task is not None and not task.done():
             task.cancel()
@@ -293,6 +362,8 @@ class GuardServer:
         state_dir,
         predictors: "Mapping[str, Callable] | None" = None,
         snapshot_every: "int | None" = 256,
+        budget: "int | None" = None,
+        brownout: "BrownoutConfig | None" = None,
     ) -> "GuardServer":
         """Rebuild a durable server from ``state_dir`` after a crash.
 
@@ -304,7 +375,10 @@ class GuardServer:
         guardrails), the rollback cursor, the quarantine contents and
         drop count, and the tenant config.  ``predictors`` re-binds
         predict callables (they are code, not state, so they cannot be
-        journaled) by tenant name.
+        journaled) by tenant name; ``budget`` / ``brownout`` re-bind
+        the overload-control configuration the same way, and the
+        journaled brownout tier transitions replay bit-identically
+        onto the rebuilt controller.
 
         The rebuilt server is durable over the same ``state_dir`` and
         ready to :meth:`start`; recovery diagnostics are on
@@ -313,7 +387,12 @@ class GuardServer:
         from ..dsl import parse_program
         from ..resilience.durability import fold_runtime_state
 
-        server = cls(state_dir=state_dir, snapshot_every=snapshot_every)
+        server = cls(
+            state_dir=state_dir,
+            snapshot_every=snapshot_every,
+            budget=budget,
+            brownout=brownout,
+        )
         recovered = server._store.recovered
         folded = fold_runtime_state(recovered.state, recovered.events)
         for name, state in folded["tenants"].items():
@@ -339,7 +418,17 @@ class GuardServer:
             # Hooks attach *after* the rebuild: replayed events must
             # not be journaled a second time.
             server._attach_durability(name, tenant)
+            tenant.attach_overload(server._limiter, server._brownout)
             server._tenants[name] = tenant
+        brownout_state = folded.get("brownout")
+        if brownout_state:
+            # Restore (not replay-through-observe): journaled tier
+            # transitions carry no timestamps, so the recovered
+            # history is bit-identical to the pre-crash record.
+            server._brownout.restore(
+                brownout_state.get("tier", 0),
+                brownout_state.get("transitions", []),
+            )
         if obs.enabled():
             obs.record(
                 "serve.recover",
@@ -362,25 +451,45 @@ class GuardServer:
     # ------------------------------------------------------------------
 
     async def check(
-        self, tenant: str, row: Mapping[str, Hashable]
+        self,
+        tenant: str,
+        row: Mapping[str, Hashable],
+        deadline_ms: "float | None" = None,
     ) -> ServeResponse:
-        """Vet one row for ``tenant`` through its micro-batcher."""
-        return await self._submit(tenant, "check", row)
+        """Vet one row for ``tenant`` through its micro-batcher.
+
+        ``deadline_ms`` is the request's latency budget: a request
+        still queued when it runs out is shed at dequeue with a typed
+        :attr:`~repro.serve.ServeStatus.EXPIRED` response and never
+        reaches the guard.
+        """
+        return await self._submit(tenant, "check", row, deadline_ms)
 
     async def rectify(
-        self, tenant: str, row: Mapping[str, Hashable]
+        self,
+        tenant: str,
+        row: Mapping[str, Hashable],
+        deadline_ms: "float | None" = None,
     ) -> ServeResponse:
-        """Repair one row for ``tenant`` (response carries ``row``)."""
-        return await self._submit(tenant, "rectify", row)
+        """Repair one row for ``tenant`` (response carries ``row``).
+
+        ``deadline_ms`` bounds the request as in :meth:`check`.
+        """
+        return await self._submit(tenant, "rectify", row, deadline_ms)
 
     async def predict(
-        self, tenant: str, row: Mapping[str, Hashable]
+        self,
+        tenant: str,
+        row: Mapping[str, Hashable],
+        deadline_ms: "float | None" = None,
     ) -> ServeResponse:
         """Run the tenant's predictor under its guard and serve mode.
 
         Blocking mode awaits the verdict first and *gates* the
         predictor on a tripwire; parallel mode races the predictor
-        against the guard and *voids* its output on a tripwire.
+        against the guard and *voids* its output on a tripwire (at
+        brownout tier >= 1 parallel downgrades to blocking).
+        ``deadline_ms`` bounds the request as in :meth:`check`.
         """
         tenant_state = self._tenant(tenant)
         if tenant_state.predictor is None:
@@ -394,10 +503,14 @@ class GuardServer:
                 request_id=next(self._ids),
                 error=f"tenant {tenant!r} has no predictor registered",
             )
-        return await self._submit(tenant, "predict", row)
+        return await self._submit(tenant, "predict", row, deadline_ms)
 
     async def _submit(
-        self, tenant: str, kind: str, row: Mapping[str, Hashable]
+        self,
+        tenant: str,
+        kind: str,
+        row: Mapping[str, Hashable],
+        deadline_ms: "float | None" = None,
     ) -> ServeResponse:
         tenant_state = self._tenant(tenant)
         if not self._running:
@@ -407,27 +520,34 @@ class GuardServer:
             )
         request_id = next(self._ids)
         started = time.perf_counter()
-        admitted = tenant_state.admit(kind, row, request_id)
+        admitted = tenant_state.admit(kind, row, request_id, deadline_ms)
         if isinstance(admitted, ServeResponse):
-            return admitted  # typed backpressure rejection
-        predict_task: asyncio.Task | None = None
-        if (
-            kind == "predict"
-            and tenant_state.config.mode is ServeMode.PARALLEL
-        ):
-            predict_task = asyncio.ensure_future(
-                self._run_predictor(tenant_state, row)
-            )
+            return admitted  # typed shed (rejected / expired)
         try:
-            outcome: _FlushOutcome = await admitted.future
-        except BaseException:
-            # Request cancelled (or the future otherwise failed): a
-            # racing predictor must not be orphaned mid-flight.
-            if predict_task is not None:
-                await self._void(predict_task)
-            raise
-        loop = asyncio.get_running_loop()
-        queued_ms = (loop.time() - admitted.enqueued_at) * 1000.0
+            predict_task: asyncio.Task | None = None
+            if (
+                kind == "predict"
+                and tenant_state.effective_mode() is ServeMode.PARALLEL
+            ):
+                predict_task = asyncio.ensure_future(
+                    self._run_predictor(tenant_state, row)
+                )
+            try:
+                outcome: _FlushOutcome = await admitted.future
+            except BaseException:
+                # Request cancelled (or the future otherwise failed):
+                # a racing predictor must not be orphaned mid-flight.
+                if predict_task is not None:
+                    await self._void(predict_task)
+                raise
+        finally:
+            # The fair-share token spans admission to resolution: the
+            # release must happen on every exit, or a cancelled caller
+            # would leak budget forever.
+            tenant_state.release_token(admitted)
+        queued_ms = (
+            STEADY_CLOCK.monotonic() - admitted.enqueued_at
+        ) * 1000.0
         response = await self._complete(
             tenant_state, kind, row, request_id, outcome, predict_task
         )
@@ -435,6 +555,8 @@ class GuardServer:
         metrics = tenant_state.metrics
         if response.status is ServeStatus.ERROR:
             metrics.errors += 1
+        elif response.status is ServeStatus.EXPIRED:
+            metrics.expired += 1
         else:
             metrics.completed += 1
             metrics.queued_ms_total += queued_ms
@@ -465,6 +587,12 @@ class GuardServer:
             verdict=outcome.verdict,
             degraded=outcome.degraded,
         )
+        if outcome.expired:
+            # Shed at dequeue: the guard never ran; a racing predictor
+            # (parallel mode) is pointless work now — void it.
+            if predict_task is not None:
+                await self._void(predict_task)
+            return ServeResponse(status=ServeStatus.EXPIRED, **base)
         if outcome.error is not None:
             if predict_task is not None:
                 await self._void(predict_task)

@@ -9,18 +9,25 @@ Each registered tenant owns
   guards, so a per-tenant :class:`~repro.resilience.GuardPolicy` and
   :class:`~repro.resilience.CircuitBreaker` govern degradation;
 * a bounded admission queue: requests coalesce into micro-batches
-  (flush on ``max_batch`` rows or ``max_wait_ms``), and a full queue
-  rejects with a typed retry-after response;
+  (flush on ``max_batch`` rows or ``max_wait_ms``), and an overload
+  pipeline sheds deliberately — adaptive admission
+  (:class:`~repro.resilience.AdmissionController`) rejects with
+  honest jittered ``retry_after`` before the queue-full cliff,
+  request deadlines expire at dequeue (typed ``EXPIRED``, no guard
+  work wasted), and the server-wide fair-share budget keeps one
+  noisy tenant from starving the rest;
 * service metrics (:class:`TenantMetrics`) plus an obs-shaped event
   buffer the server replays into the global sink via
   :func:`repro.obs.merge_events`, tagged per tenant exactly as the
-  worker pool tags forked workers.
+  worker pool tags forked workers.  Event timestamps come from the
+  shared :data:`~repro.resilience.overload.STEADY_CLOCK` — the same
+  source as ``queued_ms`` accounting — so they can never step
+  backwards under NTP corrections.
 """
 
 from __future__ import annotations
 
 import asyncio
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping
@@ -32,9 +39,14 @@ from ..resilience import (
     ResilientBatchGuard,
     ResilientRowGuard,
 )
+from ..resilience.overload import (
+    STEADY_CLOCK,
+    AdmissionController,
+    expired as _deadline_expired,
+)
 from ..resilience.policy import GuardUnavailableError
 from ..synth import Guardrail
-from .config import TenantConfig
+from .config import ServeMode, TenantConfig
 from .responses import ServeResponse, ServeStatus
 
 _LATENCY_WINDOW = 4096
@@ -51,6 +63,10 @@ class TenantMetrics:
     predicts: int = 0
     completed: int = 0
     rejected: int = 0
+    expired: int = 0
+    shed_admission: int = 0
+    shed_fair_share: int = 0
+    events_shed: int = 0
     errors: int = 0
     degraded: int = 0
     gated: int = 0
@@ -98,6 +114,10 @@ class TenantMetrics:
             "predicts": self.predicts,
             "completed": self.completed,
             "rejected": self.rejected,
+            "expired": self.expired,
+            "shed_admission": self.shed_admission,
+            "shed_fair_share": self.shed_fair_share,
+            "events_shed": self.events_shed,
             "errors": self.errors,
             "degraded": self.degraded,
             "gated": self.gated,
@@ -123,6 +143,8 @@ class _Pending:
     future: asyncio.Future
     request_id: int
     enqueued_at: float
+    deadline_at: float | None = None
+    holds_token: bool = False
 
 
 @dataclass(frozen=True)
@@ -133,6 +155,7 @@ class _FlushOutcome:
     verdict: object = None
     row: Mapping[str, Hashable] | None = None
     degraded: bool = False
+    expired: bool = False
     error: str | None = None
 
 
@@ -189,20 +212,86 @@ class Tenant:
         self.queue: asyncio.Queue = asyncio.Queue(
             maxsize=self.config.queue_size
         )
+        self.admission = AdmissionController(
+            target_delay_ms=self.config.target_delay_ms,
+            min_backlog=self.config.max_batch,
+            seed=f"retry:{name}",
+        )
+        self.limiter = None
+        self.brownout = None
+        self.drift = None
+        self._drift_base_sample_every: int | None = None
+        self._emit_tick = 0
+
+    # ------------------------------------------------------------------
+    # Overload wiring (attached by the server at registration).
+    # ------------------------------------------------------------------
+
+    def attach_overload(self, limiter, brownout) -> None:
+        """Bind the server-wide fair-share limiter and brownout
+        controller (either may be None) into this tenant's admission
+        and flush paths."""
+        self.limiter = limiter
+        self.brownout = brownout
+
+    def attach_drift(self, detector) -> None:
+        """Attach a :class:`~repro.resilience.DriftDetector` to the
+        tenant's live row guard so served traffic feeds it — and let
+        brownout tier 2 widen its 1-in-k sampling under pressure."""
+        self.drift = detector
+        self._drift_base_sample_every = getattr(
+            detector, "sample_every", None
+        )
+        self.live_row.attach_drift(detector)
+
+    def effective_mode(self) -> ServeMode:
+        """The serve mode in force right now: the configured mode,
+        downgraded to blocking at brownout tier >= 1 (parallel races
+        are the first optional work shed under pressure)."""
+        if (
+            self.brownout is not None
+            and self.brownout.degrade_parallel
+        ):
+            return ServeMode.BLOCKING
+        return self.config.mode
+
+    def apply_brownout_effects(self) -> None:
+        """Make the current brownout tier's degradations effective:
+        widen (or restore) the drift detector's sampling interval."""
+        if self.drift is None or self._drift_base_sample_every is None:
+            return
+        factor = (
+            self.brownout.drift_widen_factor
+            if self.brownout is not None
+            else 1
+        )
+        want = max(1, self._drift_base_sample_every * factor)
+        if self.drift.sample_every != want:
+            self.drift.sample_every = want
+            self.emit("serve.drift_sample_every", value=want)
 
     # ------------------------------------------------------------------
     # Admission (runs on the event loop, synchronously).
     # ------------------------------------------------------------------
 
     def admit(
-        self, kind: str, row: Mapping[str, Hashable], request_id: int
+        self,
+        kind: str,
+        row: Mapping[str, Hashable],
+        request_id: int,
+        deadline_ms: "float | None" = None,
     ) -> "_Pending | ServeResponse":
-        """Enqueue one request, or reject it with typed backpressure.
+        """Enqueue one request, or shed it with a typed response.
 
-        Returns the queued :class:`_Pending` (whose future the batcher
-        will resolve) or, when the admission queue is full, a terminal
-        :class:`ServeResponse` with ``retry_after`` — backpressure is
-        a response, never an exception.
+        The admission pipeline, in order: an already-spent deadline is
+        EXPIRED on the spot; a full queue or an adaptive-admission
+        shed (standing queue delay above the tenant's target) is
+        REJECTED with an honest jittered ``retry_after``; the
+        server-wide fair-share budget rejects a tenant past its
+        guarantee when the server has no headroom.  Returns the
+        queued :class:`_Pending` (whose future the batcher will
+        resolve) otherwise — shedding is a response, never an
+        exception.
         """
         metrics = self.metrics
         metrics.requests += 1
@@ -212,23 +301,45 @@ class Tenant:
             metrics.rectifies += 1
         else:
             metrics.predicts += 1
-        if self.queue.full():
-            metrics.rejected += 1
-            self.emit("serve.rejected", kind=kind)
+        now = STEADY_CLOCK.monotonic()
+        if deadline_ms is not None and deadline_ms <= 0:
+            metrics.expired += 1
+            self.emit("serve.expired", kind=kind)
             return ServeResponse(
-                status=ServeStatus.REJECTED,
+                status=ServeStatus.EXPIRED,
                 tenant=self.name,
                 kind=kind,
                 request_id=request_id,
-                retry_after=self.retry_after(),
+                version=self.live_batch.version,
             )
-        loop = asyncio.get_running_loop()
+        depth = self.queue.qsize()
+        if self.queue.full():
+            metrics.rejected += 1
+            self.emit("serve.rejected", kind=kind)
+            return self._reject(kind, request_id)
+        if self.admission.should_shed(depth, now):
+            metrics.rejected += 1
+            metrics.shed_admission += 1
+            self.emit("serve.shed_admission", kind=kind)
+            return self._reject(kind, request_id)
+        holds_token = False
+        if self.limiter is not None:
+            if not self.limiter.try_acquire(self.name):
+                metrics.rejected += 1
+                metrics.shed_fair_share += 1
+                self.emit("serve.shed_fair_share", kind=kind)
+                return self._reject(kind, request_id)
+            holds_token = True
         pending = _Pending(
             kind=kind,
             row=row,
-            future=loop.create_future(),
+            future=asyncio.get_running_loop().create_future(),
             request_id=request_id,
-            enqueued_at=loop.time(),
+            enqueued_at=now,
+            deadline_at=(
+                None if deadline_ms is None else now + deadline_ms / 1000.0
+            ),
+            holds_token=holds_token,
         )
         self.queue.put_nowait(pending)
         depth = self.queue.qsize()
@@ -236,16 +347,36 @@ class Tenant:
             metrics.queue_high_water = depth
         return pending
 
+    def _reject(self, kind: str, request_id: int) -> ServeResponse:
+        return ServeResponse(
+            status=ServeStatus.REJECTED,
+            tenant=self.name,
+            kind=kind,
+            request_id=request_id,
+            retry_after=self.retry_after(),
+        )
+
+    def release_token(self, pending: "_Pending") -> None:
+        """Return the request's fair-share token (idempotent)."""
+        if pending.holds_token:
+            pending.holds_token = False
+            if self.limiter is not None:
+                self.limiter.release(self.name)
+
     def retry_after(self) -> float:
-        """Suggested backoff when the queue is full: the time the
-        backlog needs to drain at the configured flush cadence plus
-        the tenant's observed mean service time."""
+        """Suggested backoff for one shed request: the *measured*
+        time the current backlog needs to drain (falling back to the
+        configured flush cadence plus observed mean service time
+        before any flush has been measured), jittered ±20% so two
+        clients rejected together don't re-arrive in lockstep."""
         config = self.config
-        backlog_flushes = self.queue.qsize() / config.max_batch + 1.0
+        backlog = self.queue.qsize()
+        backlog_flushes = backlog / config.max_batch + 1.0
         per_flush = config.max_wait_ms / 1000.0 + (
             self.metrics.mean_service_ms / 1000.0
         )
-        return backlog_flushes * max(per_flush, 1e-4)
+        fallback = backlog_flushes * max(per_flush, 1e-4)
+        return self.admission.retry_hint(backlog, fallback)
 
     # ------------------------------------------------------------------
     # The batcher (one task per tenant, owned by the server).
@@ -255,27 +386,60 @@ class Tenant:
         """Drain the admission queue forever, flushing micro-batches.
 
         A flush fires at ``max_batch`` queued rows or ``max_wait_ms``
-        after the first row, whichever comes first.  The flush itself
-        is synchronous (no awaits), so a whole batch runs under one
-        atomic guard snapshot and swaps land only between flushes.
+        after the first row, whichever comes first — and never later
+        than 75% of the earliest request deadline in hand, so a
+        batch's budget bounds its flush while the deadline request can
+        still be served.  The flush itself is synchronous (no
+        awaits), so a whole batch runs under one atomic guard
+        snapshot and swaps land only between flushes.
         """
-        loop = asyncio.get_running_loop()
         config = self.config
         while True:
             batch = [await self.queue.get()]
-            deadline = loop.time() + config.max_wait_ms / 1000.0
+            deadline = (
+                STEADY_CLOCK.monotonic() + config.max_wait_ms / 1000.0
+            )
             try:
                 while len(batch) < config.max_batch:
-                    remaining = deadline - loop.time()
+                    budget = deadline
+                    for pending in batch:
+                        if pending.deadline_at is not None:
+                            # Flush at 75% of the request's budget,
+                            # not at the deadline itself: a batch cut
+                            # exactly at the deadline would expire the
+                            # very request it was cut for.
+                            margin = 0.25 * (
+                                pending.deadline_at
+                                - pending.enqueued_at
+                            )
+                            budget = min(
+                                budget, pending.deadline_at - margin
+                            )
+                    remaining = budget - STEADY_CLOCK.monotonic()
                     if remaining <= 0:
                         break
+                    # Not ``wait_for``: when an external cancel races
+                    # its timeout, ``wait_for`` reports TimeoutError
+                    # and the cancellation is swallowed — a draining
+                    # stop() could then never interrupt a busy
+                    # batcher.  ``asyncio.wait`` lets CancelledError
+                    # propagate; a just-dequeued item is rescued into
+                    # the batch so the cancel handler resolves it.
+                    getter = asyncio.ensure_future(self.queue.get())
                     try:
-                        batch.append(
-                            await asyncio.wait_for(
-                                self.queue.get(), remaining
-                            )
+                        done, _ = await asyncio.wait(
+                            {getter}, timeout=remaining
                         )
-                    except asyncio.TimeoutError:
+                    except asyncio.CancelledError:
+                        if getter.done() and not getter.cancelled():
+                            batch.append(getter.result())
+                        else:
+                            getter.cancel()
+                        raise
+                    if getter in done:
+                        batch.append(getter.result())
+                    else:
+                        getter.cancel()
                         break
             except asyncio.CancelledError:
                 # Killed (chaos, ``stop(drain=False)``) with a batch in
@@ -303,34 +467,46 @@ class Tenant:
 
     def fail_batch(self, batch: list, reason: str) -> None:
         """Resolve a batch the batcher will never flush with typed
-        ERROR outcomes (and balance the queue's join accounting)."""
-        outcome = _FlushOutcome(
-            version=self.live_batch.version, error=reason
-        )
+        outcomes (and balance the queue's join accounting).
+
+        Same deadline honesty as :meth:`fail_pending`: a request whose
+        own budget had already run out resolves EXPIRED, the rest
+        resolve with a typed ERROR.
+        """
+        now = STEADY_CLOCK.monotonic()
+        version = self.live_batch.version
         for pending in batch:
+            if _deadline_expired(pending.deadline_at, now):
+                outcome = _FlushOutcome(version=version, expired=True)
+            else:
+                outcome = _FlushOutcome(version=version, error=reason)
             self._resolve(pending, outcome)
             self.queue.task_done()
 
     def fail_pending(self, reason: str) -> int:
-        """Drain every still-queued request into a typed ERROR response.
+        """Drain every still-queued request into a typed response.
 
         The shutdown backstop: after the batchers are gone (drain
         deadline expired, or ``drain=False``), anything left in the
         admission queue would otherwise await a future nobody will
-        resolve.  Returns how many requests were failed.
+        resolve.  A request whose own deadline has already passed
+        resolves EXPIRED (its budget ran out — that is the truthful
+        status, not an error); everything else resolves with a typed
+        ERROR.  Returns how many requests were drained.
         """
         failed = 0
+        now = STEADY_CLOCK.monotonic()
+        version = self.live_batch.version
         while True:
             try:
                 pending = self.queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
-            self._resolve(
-                pending,
-                _FlushOutcome(
-                    version=self.live_batch.version, error=reason
-                ),
-            )
+            if _deadline_expired(pending.deadline_at, now):
+                outcome = _FlushOutcome(version=version, expired=True)
+            else:
+                outcome = _FlushOutcome(version=version, error=reason)
+            self._resolve(pending, outcome)
             self.queue.task_done()
             failed += 1
         if failed:
@@ -341,14 +517,40 @@ class Tenant:
         """Resolve one micro-batch: vet check/predict rows through the
         batch kernel in a single pass, repair rectify rows through the
         row guard, and stamp every outcome with the guardrail version
-        its verdict actually ran under."""
+        its verdict actually ran under.
+
+        Requests whose deadline passed while they queued are shed
+        *here*, at dequeue, with a typed EXPIRED outcome — the guard
+        never runs for them, so an expired request costs the service
+        nothing but its queue slot.  Every dequeued request's sojourn
+        time feeds the tenant's admission controller, and the flush
+        as a whole feeds its drain-rate estimate and the server-wide
+        brownout controller's pressure signal.
+        """
         from .. import obs
 
-        vet = [p for p in batch if p.kind in ("check", "predict")]
-        repair = [p for p in batch if p.kind == "rectify"]
+        now = STEADY_CLOCK.monotonic()
+        live = []
+        for pending in batch:
+            if _deadline_expired(pending.deadline_at, now):
+                self._resolve(
+                    pending,
+                    _FlushOutcome(
+                        version=self.live_batch.version, expired=True
+                    ),
+                )
+            else:
+                live.append(pending)
+            self.admission.observe_sojourn(
+                (now - pending.enqueued_at) * 1000.0, now
+            )
+        if len(live) < len(batch):
+            self.emit("serve.expired", value=len(batch) - len(live))
+        vet = [p for p in live if p.kind in ("check", "predict")]
+        repair = [p for p in live if p.kind == "rectify"]
         metrics = self.metrics
         metrics.batches += 1
-        metrics.rows_flushed += len(batch)
+        metrics.rows_flushed += len(live)
         if vet:
             stats = self.guard.stats
             failures_before = stats.failures
@@ -388,13 +590,19 @@ class Tenant:
                     )
         for pending in repair:
             self._rectify_one(pending)
+        self.admission.observe_flush(
+            len(live), STEADY_CLOCK.monotonic()
+        )
+        if self.brownout is not None:
+            self.brownout.observe(self.admission.overloaded)
+            self.apply_brownout_effects()
         # The counter goes through the per-tenant buffer (replayed by
         # publish_metrics with a worker tag — never emitted live too,
         # which would double-count); the histogram is live-only since
         # buffered events carry counters.
-        self.emit("serve.flush", rows=len(batch))
+        self.emit("serve.flush", rows=len(live))
         if obs.enabled():
-            obs.observe("serve.batch_fill", len(batch), tenant=self.name)
+            obs.observe("serve.batch_fill", len(live), tenant=self.name)
 
     def _rectify_one(self, pending) -> None:
         stats = self.row_guard.stats
@@ -440,13 +648,27 @@ class Tenant:
         whether global tracing is on; ``GuardServer.publish_metrics``
         replays them into the active sink via
         :func:`repro.obs.merge_events` with a per-tenant worker tag.
+        Timestamps come from the shared
+        :data:`~repro.resilience.overload.STEADY_CLOCK` — the same
+        monotonic source ``queued_ms`` accounting uses — so an NTP
+        step can never make event time run backwards, and at brownout
+        tier 2 events are sampled 1-in-8 (the shed count is kept on
+        :attr:`TenantMetrics.events_shed`).
         """
+        if (
+            self.brownout is not None
+            and self.brownout.shed_observability
+        ):
+            self._emit_tick += 1
+            if self._emit_tick % 8 != 1:
+                self.metrics.events_shed += 1
+                return
         self.events.append(
             {
                 "type": "counter",
                 "name": name,
                 "value": value,
-                "ts": time.time(),
+                "ts": STEADY_CLOCK.now(),
                 "attrs": {"tenant": self.name, **attrs},
             }
         )

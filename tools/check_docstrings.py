@@ -13,11 +13,17 @@ section there, so a new package (e.g. ``repro.parallel``) cannot land
 without reference documentation.
 
 A third gate keeps the chaos harness honest: every fault class —
-unit (``repro.resilience.chaos``) and load
-(``repro.resilience.chaos_load``) — must be registered in its
+unit (``repro.resilience.chaos``), load
+(``repro.resilience.chaos_load``), and overload
+(``repro.resilience.chaos_overload``) — must be registered in its
 module's injector registry, exercised by a ``pytest -m chaos`` test,
 and listed in the ``docs/ARCHITECTURE.md`` fault table, so a fault
 class cannot be added without coverage and documentation.
+
+A fourth gate keeps the serve-layer response contract honest: every
+:class:`repro.serve.ServeStatus` member must be named in the
+``docs/API.md`` serve section, so a new typed outcome (e.g.
+``EXPIRED``) cannot land without client-facing documentation.
 
 Run directly (``python tools/check_docstrings.py``) for a report and a
 non-zero exit on violations; ``tests/test_docstring_coverage.py`` wires
@@ -191,7 +197,7 @@ def find_chaos_gaps() -> list[str]:
     """
     sys.path.insert(0, str(PACKAGE_ROOT.parent))
     try:
-        from repro.resilience import chaos, chaos_load
+        from repro.resilience import chaos, chaos_load, chaos_overload
     finally:
         sys.path.pop(0)
     problems: list[str] = []
@@ -215,6 +221,13 @@ def find_chaos_gaps() -> list[str]:
             "repro.resilience.chaos_load: LOAD_FAULT_CLASSES does not "
             "match the _INJECTORS registry"
         )
+    if set(chaos_overload.OVERLOAD_FAULT_CLASSES) != set(
+        chaos_overload._INJECTORS
+    ):
+        problems.append(
+            "repro.resilience.chaos_overload: OVERLOAD_FAULT_CLASSES "
+            "does not match the _INJECTORS registry"
+        )
     chaos_tests = _chaos_marked_test_text()
     architecture = (
         ARCHITECTURE_DOC.read_text(encoding="utf-8")
@@ -224,6 +237,10 @@ def find_chaos_gaps() -> list[str]:
     registries = (
         ("FAULT_CLASSES", chaos.FAULT_CLASSES),
         ("LOAD_FAULT_CLASSES", chaos_load.LOAD_FAULT_CLASSES),
+        (
+            "OVERLOAD_FAULT_CLASSES",
+            chaos_overload.OVERLOAD_FAULT_CLASSES,
+        ),
     )
     for constant, faults in registries:
         for fault in faults:
@@ -238,6 +255,28 @@ def find_chaos_gaps() -> list[str]:
                     "docs/ARCHITECTURE.md fault table"
                 )
     return problems
+
+
+def find_undocumented_statuses(doc_path: Path = API_DOC) -> list[str]:
+    """``ServeStatus`` members absent from the API reference.
+
+    The serve layer's contract is "every request resolves with a typed
+    response"; that contract is only usable if clients can read what
+    each status means.  Every enum member name (``OK``, ``REJECTED``,
+    ``EXPIRED``, ...) must therefore appear in ``docs/API.md``.
+    """
+    sys.path.insert(0, str(PACKAGE_ROOT.parent))
+    try:
+        from repro.serve import ServeStatus
+    finally:
+        sys.path.pop(0)
+    text = doc_path.read_text(encoding="utf-8") if doc_path.exists() else ""
+    return [
+        f"ServeStatus.{member.name}: not mentioned in "
+        f"{doc_path.relative_to(REPO_ROOT)}"
+        for member in ServeStatus
+        if member.name not in text
+    ]
 
 
 STATE_ARTIFACT_GLOBS = (
@@ -277,6 +316,7 @@ def main() -> int:
     violations = find_violations()
     undocumented = find_undocumented_subsystems()
     chaos_gaps = find_chaos_gaps()
+    statuses = find_undocumented_statuses()
     stray = find_stray_state_artifacts()
     if violations:
         print(
@@ -292,11 +332,15 @@ def main() -> int:
         print(f"{len(chaos_gaps)} chaos fault-class gap(s):")
         for entry in chaos_gaps:
             print(f"  {entry}")
+    if statuses:
+        print(f"{len(statuses)} undocumented serve status(es):")
+        for entry in statuses:
+            print(f"  {entry}")
     if stray:
         print(f"{len(stray)} stray durable-state artifact(s) in the repo:")
         for entry in stray:
             print(f"  {entry}")
-    if violations or undocumented or chaos_gaps or stray:
+    if violations or undocumented or chaos_gaps or statuses or stray:
         return 1
     print("docstring coverage: 100% of the public API")
     print(
@@ -307,6 +351,7 @@ def main() -> int:
         "chaos gate: every fault class is registered, chaos-tested, "
         "and documented"
     )
+    print("serve gate: every ServeStatus member is documented")
     print("state hygiene: no stray journal/snapshot artifacts")
     return 0
 
